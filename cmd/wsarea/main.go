@@ -1,0 +1,96 @@
+// Command wsarea prints the WaveScalar area model: the Table 2 cluster
+// budget, the Table 3 model evaluated for a configuration, and the design
+// space summary.
+//
+// Usage:
+//
+//	wsarea                 # Table 2 cluster budget + baseline total
+//	wsarea -model          # Table 3 constants and formulas
+//	wsarea -designs        # the viable design list with areas
+//	wsarea -c 4 -d 4 -p 8 -v 128 -m 128 -l1 32 -l2 2   # one configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wavescalar"
+)
+
+func main() {
+	model := flag.Bool("model", false, "print the Table 3 area model")
+	designs := flag.Bool("designs", false, "print the viable design list")
+	c := flag.Int("c", 0, "clusters (with -d -p -v -m -l1 -l2: evaluate one configuration)")
+	d := flag.Int("d", 4, "domains per cluster")
+	p := flag.Int("p", 8, "PEs per domain")
+	v := flag.Int("v", 128, "instruction store entries per PE")
+	m := flag.Int("m", 128, "matching table entries per PE")
+	l1 := flag.Int("l1", 32, "L1 KB per cluster")
+	l2 := flag.Int("l2", 0, "total L2 MB")
+	flag.Parse()
+
+	switch {
+	case *model:
+		fmt.Print(modelText)
+	case *designs:
+		pts := wavescalar.ViableDesigns()
+		fmt.Printf("%d viable designs (of %d enumerated) after pruning:\n",
+			len(pts), len(wavescalar.DesignSpace()))
+		for i, r := range wavescalar.DesignRules() {
+			fmt.Printf("  rule %d: %s\n", i+1, r)
+		}
+		fmt.Println()
+		for i, pt := range pts {
+			fmt.Printf("%2d  %-36s %7.1f mm2  capacity %d\n",
+				i+1, pt.Arch.String(), pt.Area, pt.Arch.Capacity())
+		}
+	case *c > 0:
+		arch := wavescalar.ArchParams{
+			Clusters: *c, Domains: *d, PEs: *p, Virt: *v, Match: *m, L1KB: *l1, L2MB: *l2,
+		}
+		if err := arch.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("configuration   %s\n", arch.String())
+		fmt.Printf("PE area         %.4f mm2\n", wavescalar.PEArea(*v, *m))
+		fmt.Printf("cluster area    %.4f mm2\n", wavescalar.ClusterArea(arch))
+		fmt.Printf("total area      %.1f mm2 (capacity %d instructions)\n",
+			wavescalar.TotalArea(arch), arch.Capacity())
+	default:
+		fmt.Println("Table 2: cluster area budget (baseline: 4 domains x 8 PEs, V=M=128, 16KB L1)")
+		fmt.Println()
+		fmt.Print(wavescalar.ClusterBudget())
+		arch := wavescalar.BaselineArch()
+		fmt.Printf("\nTable 3 model, baseline machine %s: %.1f mm2\n",
+			arch.String(), wavescalar.TotalArea(arch))
+	}
+}
+
+const modelText = `Table 3: WaveScalar processor area model (mm2 at 90nm)
+
+  parameter ranges
+    C   clusters                 1 .. 64
+    D   domains / cluster        1 .. 4
+    P   PEs / domain             2 .. 8
+    V   instructions / PE        8 .. 256
+    M   matching entries / PE    16 .. 128
+    L1  KB of L1 / cluster       8 .. 32
+    L2  total MB of L2           0 .. 32
+
+  area components
+    M_area   = 0.004 mm2/entry          (PE matching table)
+    V_area   = 0.002 mm2/instruction    (PE instruction store)
+    e_area   = 0.05 mm2                 (other PE components)
+    PE_area  = M*M_area + V*V_area + e_area
+    PPE_area = 0.1236 mm2               (pseudo-PE)
+    D_area   = 2*PPE_area + P*PE_area
+    SB_area  = 2.464 mm2                (store buffer)
+    L1_area  = 0.363 mm2/KB
+    N_area   = 0.349 mm2                (network switch)
+    C_area   = D*D_area + SB_area + L1*L1_area + N_area
+    L2_area  = 11.78 mm2/MB
+    U        = 0.94                     (utilization factor)
+    WC_area  = (C*C_area)/U + L2*L2_area
+`

@@ -1,0 +1,86 @@
+// Command wsasm assembles, disassembles and functionally runs WaveScalar
+// assembly files.
+//
+// Usage:
+//
+//	wsasm -dump fft               # disassemble a bundled workload
+//	wsasm -run prog.wasm -p n=10  # assemble a file and interpret it
+//	wsasm -check prog.wasm        # assemble and validate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wavescalar"
+	"wavescalar/internal/wasm"
+	"wavescalar/internal/workload"
+)
+
+func main() {
+	dump := flag.String("dump", "", "disassemble a bundled workload to stdout")
+	runFile := flag.String("run", "", "assemble a file and run it functionally")
+	check := flag.String("check", "", "assemble a file and validate it")
+	params := flag.String("p", "", "comma-separated name=value parameter bindings")
+	flag.Parse()
+
+	switch {
+	case *dump != "":
+		w, ok := workload.ByName(*dump)
+		if !ok {
+			fail(fmt.Errorf("unknown workload %q", *dump))
+		}
+		inst := w.Build(workload.Tiny)
+		fmt.Print(wasm.Disassemble(inst.Prog))
+	case *check != "":
+		src, err := os.ReadFile(*check)
+		if err != nil {
+			fail(err)
+		}
+		p, err := wasm.Assemble(string(src))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: %d instructions (%d countable), %d parameters\n",
+			p.Name, p.NumStatic(), p.CountableStatic(), len(p.Params))
+	case *runFile != "":
+		src, err := os.ReadFile(*runFile)
+		if err != nil {
+			fail(err)
+		}
+		p, err := wasm.Assemble(string(src))
+		if err != nil {
+			fail(err)
+		}
+		bind := map[string]uint64{}
+		if *params != "" {
+			for _, kv := range strings.Split(*params, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					fail(fmt.Errorf("bad parameter %q (want name=value)", kv))
+				}
+				n, err := strconv.ParseUint(strings.TrimSpace(v), 0, 64)
+				if err != nil {
+					fail(err)
+				}
+				bind[strings.TrimSpace(k)] = n
+			}
+		}
+		dyn, cnt, hv, err := wavescalar.Interpret(p, bind, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("halt value %d (dynamic %d, countable %d)\n", hv, dyn, cnt)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wsasm:", err)
+	os.Exit(1)
+}

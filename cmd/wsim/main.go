@@ -1,0 +1,79 @@
+// Command wsim runs one bundled workload on one WaveScalar configuration
+// and prints its AIPC and detailed statistics.
+//
+// Usage:
+//
+//	wsim -list
+//	wsim -app fft -threads 4 -c 4 -scale small
+//	wsim -app mcf -v 64 -m 64 -l1 8 -l2 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wavescalar"
+)
+
+func main() {
+	app := flag.String("app", "fft", "workload name (-list to enumerate)")
+	list := flag.Bool("list", false, "list the bundled workloads")
+	threads := flag.Int("threads", 1, "thread count (splash2 kernels only)")
+	scale := flag.String("scale", "small", "workload scale: tiny, small, medium")
+	c := flag.Int("c", 1, "clusters")
+	d := flag.Int("d", 4, "domains per cluster")
+	p := flag.Int("p", 8, "PEs per domain")
+	v := flag.Int("v", 128, "instruction store entries per PE")
+	m := flag.Int("m", 128, "matching table entries per PE")
+	l1 := flag.Int("l1", 32, "L1 KB per cluster")
+	l2 := flag.Int("l2", 1, "total L2 MB")
+	k := flag.Int("k", 4, "k-loop bound")
+	showEnergy := flag.Bool("energy", false, "print the energy-model breakdown")
+	flag.Parse()
+
+	if *list {
+		for _, w := range wavescalar.Workloads() {
+			fmt.Printf("%-12s %s\n", w.Name, w.Suite)
+		}
+		return
+	}
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	arch := wavescalar.ArchParams{
+		Clusters: *c, Domains: *d, PEs: *p, Virt: *v, Match: *m, L1KB: *l1, L2MB: *l2,
+	}
+	cfg := wavescalar.Baseline(arch)
+	cfg.K = *k
+
+	fmt.Printf("running %s (%s scale) with %d thread(s) on %s (%.1f mm2)\n\n",
+		*app, *scale, *threads, arch.String(), wavescalar.TotalArea(arch))
+	st, err := wavescalar.RunWorkload(cfg, *app, sc, *threads)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(st.Format())
+	if *showEnergy {
+		fmt.Println("\nenergy estimate (90nm event model; comparative, not absolute):")
+		fmt.Print(wavescalar.EstimateEnergy(wavescalar.DefaultEnergyModel(), st, arch).Format(st.Countable))
+	}
+}
+
+func parseScale(s string) (wavescalar.Scale, error) {
+	switch s {
+	case "tiny":
+		return wavescalar.ScaleTiny, nil
+	case "small":
+		return wavescalar.ScaleSmall, nil
+	case "medium":
+		return wavescalar.ScaleMedium, nil
+	}
+	return wavescalar.Scale{}, fmt.Errorf("unknown scale %q (tiny, small, medium)", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wsim:", err)
+	os.Exit(1)
+}

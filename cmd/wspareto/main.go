@@ -1,0 +1,188 @@
+// Command wspareto performs the paper's design-space Pareto analysis
+// (Figures 6 and 7, Table 5): it enumerates the viable WaveScalar designs,
+// simulates a benchmark suite on each, and prints the area/AIPC series and
+// the Pareto frontier.
+//
+// Usage:
+//
+//	wspareto -suite splash2 -scale tiny           # Figure 6 + Table 5
+//	wspareto -suite spec2000                      # Figure 6 (single-threaded)
+//	wspareto -suite splash2 -scaling              # Figure 7 analysis
+//	wspareto -suite splash2 -max 20               # subsample the space
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wavescalar"
+	"wavescalar/internal/design"
+)
+
+func main() {
+	suite := flag.String("suite", "splash2", "suite: spec2000, mediabench, splash2")
+	scale := flag.String("scale", "tiny", "workload scale: tiny, small, medium")
+	scaling := flag.Bool("scaling", false, "run the Figure 7 scaled-design analysis")
+	maxPoints := flag.Int("max", 0, "evaluate at most this many designs (0 = all)")
+	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	csvPath := flag.String("csv", "", "also write the sweep results to this CSV file")
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	st, apps, threads, err := suiteOf(*suite)
+	if err != nil {
+		fail(err)
+	}
+
+	points := wavescalar.ViableDesigns()
+	if *maxPoints > 0 && *maxPoints < len(points) {
+		points = subsample(points, *maxPoints)
+	}
+	fmt.Printf("evaluating %d designs on %s (%d apps, scale %s, threads %v)\n\n",
+		len(points), st, len(apps), *scale, threads)
+
+	results := wavescalar.Sweep(points, apps, wavescalar.SweepOptions{
+		Scale: sc, ThreadCounts: threads, Parallelism: *par,
+	})
+
+	fmt.Println("Figure 6 series (area mm2, mean AIPC, per-app AIPC):")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("  %-36s FAILED: %v\n", r.Arch.String(), r.Err)
+			continue
+		}
+		fmt.Printf("  %-36s %7.1f %6.3f  %s\n", r.Arch.String(), r.Area, r.Mean, appSummary(r))
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := design.WriteCSV(f, results, apps); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	// Figure 6's plot: all designs as dots, the frontier circled.
+	plot := design.NewScatterPlot()
+	var evals []wavescalar.Evaluated
+	for _, r := range results {
+		if r.Err == nil {
+			evals = append(evals, wavescalar.Evaluated{Point: r.Point, AIPC: r.Mean})
+		}
+	}
+	plot.AddSeries(evals)
+	fmt.Printf("\nFigure 6 (%s): '.' = design, 'o' = Pareto optimal\n\n", st)
+	fmt.Print(plot.Render())
+
+	frontier := wavescalar.SweepFrontier(results)
+	fmt.Printf("\nPareto-optimal configurations (%s) — the shape of Table 5:\n\n", st)
+	fmt.Print(design.FormatFrontier(design.FrontierTable(frontier)))
+
+	if len(frontier) >= 2 {
+		lo, hi := frontier[0], frontier[len(frontier)-1]
+		fmt.Printf("\nscaling across the frontier: %.1fx area buys %.1fx AIPC (%.0f..%.0f mm2)\n",
+			hi.Area/lo.Area, hi.AIPC/lo.AIPC, lo.Area, hi.Area)
+	}
+
+	if *scaling {
+		runScaling(results, apps, sc, threads, *par)
+	}
+}
+
+func runScaling(results []wavescalar.SweepResult, apps []wavescalar.Workload,
+	sc wavescalar.Scale, threads []int, par int) {
+	plan, err := design.ScalingPlan(results)
+	if err != nil {
+		fail(err)
+	}
+	// Measure the replicated designs that have no AIPC yet.
+	var toRun []wavescalar.DesignPoint
+	var idx []int
+	for i, p := range plan {
+		if p.AIPC == 0 {
+			toRun = append(toRun, wavescalar.DesignPoint{Arch: p.Arch, Area: p.Area})
+			idx = append(idx, i)
+		}
+	}
+	runs := wavescalar.Sweep(toRun, apps, wavescalar.SweepOptions{
+		Scale: sc, ThreadCounts: threads, Parallelism: par,
+	})
+	for j, r := range runs {
+		if r.Err != nil {
+			fail(r.Err)
+		}
+		plan[idx[j]].AIPC = r.Mean
+	}
+	frontier := wavescalar.SweepFrontier(results)
+	fmt.Println("\nFigure 7 scaled-design analysis:")
+	for _, p := range plan {
+		gap := design.NearestFrontierGap(frontier, p.Area, p.AIPC)
+		fmt.Printf("  %-2s %-44s %7.1f mm2  AIPC %6.3f  frontier gap %.2fx\n",
+			p.Label, p.Desc, p.Area, p.AIPC, gap)
+	}
+	fmt.Println("\n  (gap = area relative to the smallest frontier design of equal performance;")
+	fmt.Println("   the paper's lesson: replicating the best-performing tile lands far off the")
+	fmt.Println("   frontier, replicating the most area-efficient tile lands near it)")
+}
+
+func appSummary(r wavescalar.SweepResult) string {
+	names := make([]string, 0, len(r.AIPC))
+	for n := range r.AIPC {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += fmt.Sprintf("%s=%.2f(t%d) ", n, r.AIPC[n], r.Threads[n])
+	}
+	return s
+}
+
+func suiteOf(name string) (wavescalar.Suite, []wavescalar.Workload, []int, error) {
+	switch name {
+	case "spec2000":
+		return wavescalar.SuiteSpec, wavescalar.WorkloadsBySuite(wavescalar.SuiteSpec), []int{1}, nil
+	case "mediabench":
+		return wavescalar.SuiteMedia, wavescalar.WorkloadsBySuite(wavescalar.SuiteMedia), []int{1}, nil
+	case "splash2":
+		return wavescalar.SuiteSplash, wavescalar.WorkloadsBySuite(wavescalar.SuiteSplash),
+			[]int{1, 4, 16, 64}, nil
+	}
+	return 0, nil, nil, fmt.Errorf("unknown suite %q", name)
+}
+
+func subsample(pts []wavescalar.DesignPoint, n int) []wavescalar.DesignPoint {
+	out := make([]wavescalar.DesignPoint, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pts[i*len(pts)/n])
+	}
+	return out
+}
+
+func parseScale(s string) (wavescalar.Scale, error) {
+	switch s {
+	case "tiny":
+		return wavescalar.ScaleTiny, nil
+	case "small":
+		return wavescalar.ScaleSmall, nil
+	case "medium":
+		return wavescalar.ScaleMedium, nil
+	}
+	return wavescalar.Scale{}, fmt.Errorf("unknown scale %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wspareto:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command wstraffic reproduces Figure 8: the distribution of network
+// traffic across the interconnect hierarchy (intra-PE, pod, domain,
+// cluster, inter-cluster) split into operand and memory/coherence classes,
+// for each workload and a range of processor sizes.
+//
+// Usage:
+//
+//	wstraffic                       # all workloads on 1 cluster
+//	wstraffic -clusters 1,4,16      # splash2 across machine sizes
+//	wstraffic -app fft -threads 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wavescalar"
+)
+
+func main() {
+	app := flag.String("app", "", "one workload (default: whole suites)")
+	clusters := flag.String("clusters", "1", "comma-separated cluster counts")
+	threads := flag.Int("threads", 0, "threads (0 = clusters for splash2, 1 otherwise)")
+	scale := flag.String("scale", "tiny", "workload scale: tiny, small, medium")
+	flag.Parse()
+
+	sc := wavescalar.ScaleTiny
+	switch *scale {
+	case "small":
+		sc = wavescalar.ScaleSmall
+	case "medium":
+		sc = wavescalar.ScaleMedium
+	}
+
+	var sizes []int
+	for _, s := range strings.Split(*clusters, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fail(err)
+		}
+		sizes = append(sizes, n)
+	}
+
+	var apps []wavescalar.Workload
+	if *app != "" {
+		w, err := wavescalar.WorkloadByName(*app)
+		if err != nil {
+			fail(err)
+		}
+		apps = []wavescalar.Workload{w}
+	} else {
+		apps = wavescalar.Workloads()
+	}
+
+	fmt.Printf("%-12s %4s %3s %9s | %7s %7s %7s %7s %7s | %7s %7s\n",
+		"app", "C", "thr", "messages",
+		"PE", "pod", "domain", "cluster", "grid", "operand", "msg-lat")
+	for _, w := range apps {
+		for _, c := range sizes {
+			arch := wavescalar.BaselineArch()
+			arch.Clusters = c
+			if c > 1 {
+				arch.L2MB = c / 2
+			}
+			cfg := wavescalar.Baseline(arch)
+			th := *threads
+			if th == 0 {
+				th = 1
+				if w.Suite == wavescalar.SuiteSplash {
+					th = c
+				}
+			}
+			inst := w.Build(sc)
+			if th > inst.MaxThreads {
+				th = inst.MaxThreads
+			}
+			st, err := wavescalar.RunWorkload(cfg, w.Name, sc, th)
+			if err != nil {
+				fail(fmt.Errorf("%s C=%d: %w", w.Name, c, err))
+			}
+			total := st.TrafficTotal()
+			pct := func(l wavescalar.TrafficLevel) float64 {
+				n := st.Traffic[l][wavescalar.ClassOperand] + st.Traffic[l][wavescalar.ClassMemory]
+				return 100 * float64(n) / float64(total)
+			}
+			fmt.Printf("%-12s %4d %3d %9d | %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% | %6.1f%% %7.2f\n",
+				w.Name, c, th, total,
+				pct(wavescalar.LevelSelf), pct(wavescalar.LevelPod), pct(wavescalar.LevelDomain),
+				pct(wavescalar.LevelCluster), pct(wavescalar.LevelGrid),
+				100*st.OperandShare(), st.AvgOperandLatency())
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wstraffic:", err)
+	os.Exit(1)
+}

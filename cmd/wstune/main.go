@@ -1,0 +1,73 @@
+// Command wstune reproduces Table 4: the per-application matching-table
+// tuning (k_opt, u_opt, virtualization ratio).
+//
+// Usage:
+//
+//	wstune                 # tune every bundled workload
+//	wstune -app gzip       # tune one
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wavescalar"
+)
+
+func main() {
+	app := flag.String("app", "", "tune only this workload")
+	scale := flag.String("scale", "tiny", "workload scale: tiny, small, medium")
+	flag.Parse()
+
+	opt := wavescalar.DefaultTuneOptions()
+	switch *scale {
+	case "tiny":
+		opt.Scale = wavescalar.ScaleTiny
+	case "small":
+		opt.Scale = wavescalar.ScaleSmall
+	case "medium":
+		opt.Scale = wavescalar.ScaleMedium
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	var apps []wavescalar.Workload
+	if *app != "" {
+		w, err := wavescalar.WorkloadByName(*app)
+		if err != nil {
+			fail(err)
+		}
+		apps = []wavescalar.Workload{w}
+	} else {
+		apps = wavescalar.Workloads()
+	}
+
+	fmt.Println("Table 4: matching-table tuning (k_opt on an infinite table;")
+	fmt.Println("u_opt with V=256 and M = V*k_opt/u; ratio = k_opt/u_opt)")
+	fmt.Println()
+	fmt.Printf("%-12s %6s %6s %12s\n", "application", "u_opt", "k_opt", "virt. ratio")
+	var tunings []wavescalar.Tuning
+	for _, w := range apps {
+		tn, err := wavescalar.TuneMatchingTable(w, opt)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", w.Name, err))
+		}
+		tunings = append(tunings, tn)
+		fmt.Printf("%-12s %6d %6d %12.2f\n", tn.App, tn.UOpt, tn.KOpt, tn.Ratio)
+	}
+	if len(tunings) > 1 {
+		max := tunings[0].Ratio
+		for _, t := range tunings {
+			if t.Ratio > max {
+				max = t.Ratio
+			}
+		}
+		fmt.Printf("\nmaximum ratio %.2f -> the design sweep fixes M/V = 1 (the paper's conservative choice)\n", max)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wstune:", err)
+	os.Exit(1)
+}

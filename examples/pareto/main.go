@@ -1,0 +1,59 @@
+// Pareto: a miniature version of the paper's Section 4.2 analysis — pick a
+// handful of viable designs spanning the area range, measure a workload on
+// each, and print the area/performance frontier.
+//
+//	go run ./examples/pareto
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wavescalar"
+)
+
+func main() {
+	viable := wavescalar.ViableDesigns()
+	fmt.Printf("the pruned design space holds %d configurations (%.0f..%.0f mm2)\n",
+		len(viable), viable[0].Area, viable[len(viable)-1].Area)
+
+	// Subsample across the area range to keep this example quick.
+	var points []wavescalar.DesignPoint
+	for i := 0; i < 8; i++ {
+		points = append(points, viable[i*len(viable)/8])
+	}
+
+	fftW, err := wavescalar.WorkloadByName("fft")
+	if err != nil {
+		log.Fatal(err)
+	}
+	oceanW, err := wavescalar.WorkloadByName("ocean")
+	if err != nil {
+		log.Fatal(err)
+	}
+	apps := []wavescalar.Workload{fftW, oceanW}
+
+	fmt.Println("\nmeasuring fft and ocean with the best thread count per design...")
+	results := wavescalar.Sweep(points, apps, wavescalar.SweepOptions{
+		Scale:        wavescalar.ScaleTiny,
+		ThreadCounts: []int{1, 4, 16, 64},
+	})
+
+	fmt.Printf("\n%-38s %9s %7s\n", "design", "area mm2", "AIPC")
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("%-38s %9.1f %7.2f\n", r.Arch.String(), r.Area, r.Mean)
+	}
+
+	frontier := wavescalar.SweepFrontier(results)
+	fmt.Println("\nPareto frontier (no design is both smaller and faster):")
+	for _, e := range frontier {
+		fmt.Printf("  %-38s %9.1f %7.2f\n", e.Arch.String(), e.Area, e.AIPC)
+	}
+	lo, hi := frontier[0], frontier[len(frontier)-1]
+	fmt.Printf("\nacross the frontier, %.1fx silicon buys %.1fx performance —\n",
+		hi.Area/lo.Area, hi.AIPC/lo.AIPC)
+	fmt.Println("the paper's headline: multithreaded WaveScalar scales linearly with area.")
+}

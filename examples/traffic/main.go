@@ -1,0 +1,52 @@
+// Traffic: reproduce Figure 8's point on one workload — WaveScalar's
+// hierarchical interconnect keeps communication local, and the
+// distribution barely moves as the machine grows.
+//
+//	go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wavescalar"
+)
+
+func main() {
+	fmt.Println("fft traffic by interconnect level as the machine grows")
+	fmt.Println("(threads scale with clusters; each thread lives in its own cluster)")
+	fmt.Println()
+	fmt.Printf("%8s %8s | %8s %8s %8s %8s %8s | %8s\n",
+		"clusters", "threads", "intra-PE", "pod", "domain", "cluster", "grid", "operand")
+
+	for _, clusters := range []int{1, 4, 16} {
+		arch := wavescalar.BaselineArch()
+		arch.Clusters = clusters
+		if clusters > 1 {
+			arch.L2MB = clusters / 2
+		}
+		cfg := wavescalar.Baseline(arch)
+		threads := clusters
+
+		st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, threads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := float64(st.TrafficTotal())
+		pct := func(l wavescalar.TrafficLevel) float64 {
+			n := st.Traffic[l][wavescalar.ClassOperand] + st.Traffic[l][wavescalar.ClassMemory]
+			return 100 * float64(n) / total
+		}
+		fmt.Printf("%8d %8d | %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% | %7.1f%%\n",
+			clusters, threads,
+			pct(wavescalar.LevelSelf), pct(wavescalar.LevelPod),
+			pct(wavescalar.LevelDomain), pct(wavescalar.LevelCluster),
+			pct(wavescalar.LevelGrid), 100*st.OperandShare())
+	}
+
+	fmt.Println()
+	fmt.Println("the paper's observations to look for:")
+	fmt.Println("  - the vast majority of messages stay inside one cluster")
+	fmt.Println("  - inter-cluster traffic stays marginal as clusters are added")
+	fmt.Println("  - operand data dominates; memory/coherence is the minority class")
+}

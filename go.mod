@@ -1,0 +1,3 @@
+module wavescalar
+
+go 1.22

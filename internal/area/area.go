@@ -1,0 +1,103 @@
+// Package area implements the WaveScalar processor area model of the
+// paper's Table 3, calibrated from the authors' RTL synthesis on TSMC 90nm,
+// plus the per-component cluster budget of Table 2.
+//
+// All areas are in mm² at 90nm. The model composes bottom-up: a processing
+// element from its matching table, instruction store and fixed logic; a
+// domain from PEs and two pseudo-PEs; a cluster from domains, store buffer,
+// L1 cache and network switch; a processor from clusters (divided by the
+// placement utilization factor) plus L2.
+package area
+
+import "fmt"
+
+// Table 3 constants (mm² at 90nm).
+const (
+	MatchPerEntry = 0.004  // PE matching table, per entry
+	StorePerInst  = 0.002  // PE instruction store, per instruction
+	PEOther       = 0.05   // other PE components (fixed)
+	PseudoPE      = 0.1236 // MEM or NET pseudo-PE
+	StoreBuffer   = 2.464  // wave-ordered store buffer, per cluster
+	L1PerKB       = 0.363  // L1 data cache, per KB
+	NetworkSwitch = 0.349  // inter-cluster network switch, per cluster
+	L2PerMB       = 11.78  // L2 cache, per MB
+	Utilization   = 0.94   // cell-packing utilization factor
+	FPUPerDomain  = 0.53   // pipelined FPU shared by a domain (Table 2)
+)
+
+// Params are the seven architectural parameters the model considers
+// (Table 3, top half).
+type Params struct {
+	Clusters int // C: 1..64
+	Domains  int // D: domains per cluster, 1..4
+	PEs      int // P: PEs per domain, 2..8
+	Virt     int // V: instruction capacity per PE, 8..256
+	Match    int // M: matching table entries per PE, 16..128
+	L1KB     int // L1 cache KB per cluster, 8..32
+	L2MB     int // total L2 MB, 0..32
+}
+
+// String renders the parameters compactly, e.g. "C4 D4 P8 V128 M128 L1:32KB L2:2MB".
+func (p Params) String() string {
+	return fmt.Sprintf("C%d D%d P%d V%d M%d L1:%dKB L2:%dMB",
+		p.Clusters, p.Domains, p.PEs, p.Virt, p.Match, p.L1KB, p.L2MB)
+}
+
+// TotalPEs returns the processor's PE count.
+func (p Params) TotalPEs() int { return p.Clusters * p.Domains * p.PEs }
+
+// Capacity returns the processor's static instruction capacity
+// (the "Inst. Capacity" column of Table 5).
+func (p Params) Capacity() int { return p.TotalPEs() * p.Virt }
+
+// PE returns the area of one processing element with a V-instruction store
+// and an M-entry matching table.
+func PE(v, m int) float64 {
+	return float64(m)*MatchPerEntry + float64(v)*StorePerInst + PEOther
+}
+
+// Domain returns the area of a domain of p PEs plus its two pseudo-PEs.
+func Domain(pes, v, m int) float64 {
+	return 2*PseudoPE + float64(pes)*PE(v, m)
+}
+
+// Cluster returns the area of one cluster.
+func Cluster(p Params) float64 {
+	return float64(p.Domains)*Domain(p.PEs, p.Virt, p.Match) +
+		StoreBuffer + float64(p.L1KB)*L1PerKB + NetworkSwitch
+}
+
+// Total returns the processor's total area, WC_area of Table 3: the
+// clusters divided by the utilization factor, plus the L2.
+func Total(p Params) float64 {
+	return float64(p.Clusters)*Cluster(p)/Utilization + float64(p.L2MB)*L2PerMB
+}
+
+// Validate checks the parameters against the ranges of Table 3.
+func (p Params) Validate() error {
+	check := func(name string, v, lo, hi int) error {
+		if v < lo || v > hi {
+			return fmt.Errorf("area: %s = %d outside [%d, %d]", name, v, lo, hi)
+		}
+		return nil
+	}
+	if err := check("clusters", p.Clusters, 1, 64); err != nil {
+		return err
+	}
+	if err := check("domains/cluster", p.Domains, 1, 4); err != nil {
+		return err
+	}
+	if err := check("PEs/domain", p.PEs, 2, 8); err != nil {
+		return err
+	}
+	if err := check("virtualization degree", p.Virt, 8, 256); err != nil {
+		return err
+	}
+	if err := check("matching entries", p.Match, 16, 128); err != nil {
+		return err
+	}
+	if err := check("L1 KB", p.L1KB, 8, 32); err != nil {
+		return err
+	}
+	return check("L2 MB", p.L2MB, 0, 32)
+}

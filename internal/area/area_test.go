@@ -1,0 +1,203 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestPEArea(t *testing.T) {
+	// Table 3 composition for the baseline PE (V=128, M=128):
+	// 128*0.004 + 128*0.002 + 0.05 = 0.818.
+	if got := PE(128, 128); !approx(got, 0.818, 1e-9) {
+		t.Errorf("PE(128,128) = %v, want 0.818", got)
+	}
+	if got := PE(64, 64); !approx(got, 0.434, 1e-9) {
+		t.Errorf("PE(64,64) = %v, want 0.434", got)
+	}
+}
+
+func TestDomainArea(t *testing.T) {
+	// 2*0.1236 + 8*0.818 = 6.7912
+	if got := Domain(8, 128, 128); !approx(got, 6.7912, 1e-9) {
+		t.Errorf("Domain = %v, want 6.7912", got)
+	}
+}
+
+func TestClusterArea(t *testing.T) {
+	p := Params{Clusters: 1, Domains: 4, PEs: 8, Virt: 128, Match: 128, L1KB: 32, L2MB: 0}
+	// 4*6.7912 + 2.464 + 32*0.363 + 0.349 = 41.5938
+	if got := Cluster(p); !approx(got, 41.5938, 1e-6) {
+		t.Errorf("Cluster = %v, want 41.5938", got)
+	}
+}
+
+func TestTotalArea(t *testing.T) {
+	p := Params{Clusters: 1, Domains: 4, PEs: 8, Virt: 128, Match: 128, L1KB: 32, L2MB: 1}
+	want := 41.5938/0.94 + 11.78
+	if got := Total(p); !approx(got, want, 1e-6) {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+}
+
+// TestTable5Areas checks the model against a sample of the paper's Table 5
+// configurations. The published areas run ~10% above the bare Table 3 model
+// (the paper folds in effects the model's text calls "minor"), so we verify
+// the model lands within 15% of every published point — the model tracks
+// the published design sizes closely across a 10x range.
+func TestTable5Areas(t *testing.T) {
+	cases := []struct {
+		p     Params
+		paper float64
+	}{
+		{Params{1, 4, 8, 128, 128, 8, 0}, 39},
+		{Params{1, 4, 8, 128, 128, 32, 0}, 48},
+		{Params{1, 4, 8, 128, 128, 8, 1}, 52},
+		{Params{1, 4, 8, 128, 128, 32, 2}, 74},
+		{Params{4, 4, 8, 64, 64, 8, 1}, 109},
+		{Params{4, 4, 8, 128, 128, 32, 2}, 219},
+		{Params{16, 4, 8, 64, 64, 8, 0}, 387},
+		{Params{16, 4, 8, 64, 64, 8, 1}, 399},
+	}
+	for _, c := range cases {
+		got := Total(c.p)
+		if rel := math.Abs(got-c.paper) / c.paper; rel > 0.15 {
+			t.Errorf("%v: model %.1fmm2 vs paper %.0fmm2 (%.0f%% off)",
+				c.p, got, c.paper, rel*100)
+		}
+	}
+}
+
+func TestAreaMonotonicity(t *testing.T) {
+	base := Params{Clusters: 2, Domains: 2, PEs: 4, Virt: 64, Match: 64, L1KB: 16, L2MB: 2}
+	grow := []func(Params) Params{
+		func(p Params) Params { p.Clusters *= 2; return p },
+		func(p Params) Params { p.Domains *= 2; return p },
+		func(p Params) Params { p.PEs *= 2; return p },
+		func(p Params) Params { p.Virt *= 2; return p },
+		func(p Params) Params { p.Match *= 2; return p },
+		func(p Params) Params { p.L1KB *= 2; return p },
+		func(p Params) Params { p.L2MB *= 2; return p },
+	}
+	a0 := Total(base)
+	for i, g := range grow {
+		if a := Total(g(base)); a <= a0 {
+			t.Errorf("growing parameter %d did not increase area (%v -> %v)", i, a0, a)
+		}
+	}
+}
+
+// Property: area is linear in matching table entries and instruction store
+// capacity, as the paper verified by synthesizing 8..128-entry versions.
+func TestAreaLinearity(t *testing.T) {
+	f := func(v, m uint8) bool {
+		vv, mm := int(v)+8, int(m)+8
+		// PE(2v, m) - PE(v, m) == v*StorePerInst
+		dv := PE(2*vv, mm) - PE(vv, mm)
+		dm := PE(vv, 2*mm) - PE(vv, mm)
+		return approx(dv, float64(vv)*StorePerInst, 1e-9) &&
+			approx(dm, float64(mm)*MatchPerEntry, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Params{Clusters: 4, Domains: 4, PEs: 8, Virt: 128, Match: 128, L1KB: 32, L2MB: 4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("baseline rejected: %v", err)
+	}
+	bad := []Params{
+		{Clusters: 0, Domains: 4, PEs: 8, Virt: 128, Match: 128, L1KB: 32},
+		{Clusters: 65, Domains: 4, PEs: 8, Virt: 128, Match: 128, L1KB: 32},
+		{Clusters: 1, Domains: 5, PEs: 8, Virt: 128, Match: 128, L1KB: 32},
+		{Clusters: 1, Domains: 4, PEs: 9, Virt: 128, Match: 128, L1KB: 32},
+		{Clusters: 1, Domains: 4, PEs: 8, Virt: 300, Match: 128, L1KB: 32},
+		{Clusters: 1, Domains: 4, PEs: 8, Virt: 128, Match: 8, L1KB: 32},
+		{Clusters: 1, Domains: 4, PEs: 8, Virt: 128, Match: 128, L1KB: 64},
+		{Clusters: 1, Domains: 4, PEs: 8, Virt: 128, Match: 128, L1KB: 32, L2MB: 33},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %v", i, p)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	p := Params{Clusters: 4, Domains: 4, PEs: 8, Virt: 64}
+	if got := p.Capacity(); got != 8192 {
+		t.Errorf("capacity = %d, want 8192", got)
+	}
+	if got := p.TotalPEs(); got != 128 {
+		t.Errorf("PEs = %d, want 128", got)
+	}
+}
+
+func TestBaselineBudgetMatchesTable2(t *testing.T) {
+	b := BaselineBudget()
+	// Headline numbers of Table 2.
+	if !approx(b.PETotal, 0.94, 0.005) {
+		t.Errorf("PE total = %.4f, want 0.94", b.PETotal)
+	}
+	if !approx(b.DomainTotal, 8.33, 0.01) {
+		t.Errorf("domain total = %.4f, want 8.33", b.DomainTotal)
+	}
+	if !approx(b.ClusterTotal, 42.50, 0.05) {
+		t.Errorf("cluster total = %.4f, want 42.50", b.ClusterTotal)
+	}
+	// The paper's headline shares: PEs are 71% of the cluster; MATCH is
+	// 61% of a PE; the instruction store is ~33% of a PE.
+	var match, istore, peTotalRow BudgetRow
+	for _, r := range b.Rows {
+		switch {
+		case r.Section == "PE" && r.Name == "MATCH":
+			match = r
+		case r.Section == "PE" && r.Name == "instruction store":
+			istore = r
+		case r.Section == "PE" && r.Name == "total":
+			peTotalRow = r
+		}
+	}
+	if !approx(match.PctPE, 61.0, 0.5) {
+		t.Errorf("MATCH %% of PE = %.1f, want ~61", match.PctPE)
+	}
+	if !approx(istore.PctPE, 32.8, 0.5) {
+		t.Errorf("inst store %% of PE = %.1f, want ~32.8", istore.PctPE)
+	}
+	if !approx(peTotalRow.PctCluster, 71.0, 0.5) {
+		t.Errorf("PEs %% of cluster = %.1f, want ~71", peTotalRow.PctCluster)
+	}
+}
+
+func TestBudgetFormat(t *testing.T) {
+	out := BaselineBudget().Format()
+	for _, want := range []string{"MATCH", "instruction store", "store buffer", "data cache", "-- Cluster --"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted budget missing %q", want)
+		}
+	}
+}
+
+func TestSRAMShare(t *testing.T) {
+	// Section 4.1: ~80% of cluster area is SRAM (instruction stores,
+	// matching caches, L1).
+	b := BaselineBudget()
+	var sram float64
+	for _, r := range b.Rows {
+		if r.Section == "PE" && (r.Name == "MATCH" || r.Name == "instruction store") {
+			sram += r.InCluster
+		}
+		if r.Section == "Cluster" && r.Name == "data cache" {
+			sram += r.InCluster
+		}
+	}
+	share := sram / b.ClusterTotal
+	if share < 0.70 || share > 0.90 {
+		t.Errorf("SRAM share = %.2f, want ~0.8", share)
+	}
+}

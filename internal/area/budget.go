@@ -1,0 +1,153 @@
+package area
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table 2 records the RTL-measured cluster budget for the baseline design
+// (Table 1): 4 domains of 8 PEs, 128-entry matching tables and instruction
+// stores. The per-PE stage areas below are the paper's values (utilization
+// folded in, as published); the cluster rows use a 16KB L1, which is what
+// the published 6.18mm² data-cache figure corresponds to.
+
+// StageArea is one row of the PE portion of Table 2, in mm² per PE.
+type StageArea struct {
+	Name string
+	PE   float64
+}
+
+// PEStages are the per-pipeline-stage PE areas of Table 2.
+var PEStages = []StageArea{
+	{"INPUT", 0.011563},
+	{"MATCH", 0.575313},
+	{"DISPATCH", 0.005625},
+	{"EXECUTE", 0.024063},
+	{"OUTPUT", 0.017188},
+	{"instruction store", 0.308750},
+}
+
+// Budget is the full Table 2: the area of each component at PE, domain and
+// cluster granularity with percentage shares.
+type Budget struct {
+	PEsPerDomain int
+	DomainsPer   int
+	PETotal      float64 // one PE
+	DomainTotal  float64 // one domain (PEs + pseudo-PEs + FPU)
+	ClusterTotal float64 // one cluster
+	Rows         []BudgetRow
+}
+
+// BudgetRow is one line of Table 2.
+type BudgetRow struct {
+	Section    string // "PE", "Domain", or "Cluster"
+	Name       string
+	InPE       float64 // mm² within one PE (0 when not applicable)
+	InDomain   float64 // mm² within one domain
+	InCluster  float64 // mm² within one cluster
+	PctPE      float64 // percent of a PE
+	PctDomain  float64 // percent of a domain
+	PctCluster float64
+}
+
+// BaselineBudget reproduces Table 2 for the baseline cluster: 4 domains of
+// 8 PEs each plus store buffer, switch, and a 16KB L1 data cache.
+func BaselineBudget() Budget {
+	const (
+		pes     = 8
+		domains = 4
+		memPE   = 0.1325 // Table 2's published pseudo-PE area
+		netPE   = 0.1325
+		fpu     = FPUPerDomain
+		switchA = NetworkSwitch / Utilization
+		sbA     = StoreBuffer / Utilization
+		l1KB    = 16
+		l1A     = l1KB * L1PerKB / Utilization
+	)
+	var peTotal float64
+	for _, s := range PEStages {
+		peTotal += s.PE
+	}
+	domainTotal := float64(pes)*peTotal + memPE + netPE + fpu
+	clusterTotal := float64(domains)*domainTotal + switchA + sbA + l1A
+
+	b := Budget{
+		PEsPerDomain: pes,
+		DomainsPer:   domains,
+		PETotal:      peTotal,
+		DomainTotal:  domainTotal,
+		ClusterTotal: clusterTotal,
+	}
+	addPE := func(name string, a float64) {
+		b.Rows = append(b.Rows, BudgetRow{
+			Section: "PE", Name: name,
+			InPE: a, InDomain: a * pes, InCluster: a * pes * domains,
+			PctPE:      100 * a / peTotal,
+			PctDomain:  100 * a * pes / domainTotal,
+			PctCluster: 100 * a * pes * domains / clusterTotal,
+		})
+	}
+	for _, s := range PEStages {
+		addPE(s.Name, s.PE)
+	}
+	b.Rows = append(b.Rows, BudgetRow{
+		Section: "PE", Name: "total",
+		InPE: peTotal, InDomain: peTotal * pes, InCluster: peTotal * pes * domains,
+		PctPE: 100, PctDomain: 100 * peTotal * pes / domainTotal,
+		PctCluster: 100 * peTotal * pes * domains / clusterTotal,
+	})
+	addDomain := func(name string, a float64) {
+		b.Rows = append(b.Rows, BudgetRow{
+			Section: "Domain", Name: name,
+			InDomain: a, InCluster: a * domains,
+			PctDomain: 100 * a / domainTotal, PctCluster: 100 * a * domains / clusterTotal,
+		})
+	}
+	addDomain("MemPE", memPE)
+	addDomain("NetPE", netPE)
+	addDomain(fmt.Sprintf("%d x PE", pes), peTotal*pes)
+	addDomain("FPU", fpu)
+	addDomain("total", domainTotal)
+	addCluster := func(name string, a float64) {
+		b.Rows = append(b.Rows, BudgetRow{
+			Section: "Cluster", Name: name,
+			InCluster: a, PctCluster: 100 * a / clusterTotal,
+		})
+	}
+	addCluster(fmt.Sprintf("%d x domain", domains), domainTotal*domains)
+	addCluster("network switch", switchA)
+	addCluster("store buffer", sbA)
+	addCluster("data cache", l1A)
+	addCluster("total", clusterTotal)
+	return b
+}
+
+// Format renders the budget as an aligned text table (the shape of Table 2).
+func (b Budget) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %10s %12s %13s %8s %10s %11s\n",
+		"component", "in PE", "in domain", "in cluster", "% of PE", "% of dom.", "% of clus.")
+	section := ""
+	for _, r := range b.Rows {
+		if r.Section != section {
+			section = r.Section
+			fmt.Fprintf(&sb, "-- %s --\n", section)
+		}
+		cell := func(v float64) string {
+			if v == 0 {
+				return ""
+			}
+			return fmt.Sprintf("%.2fmm2", v)
+		}
+		pct := func(v float64) string {
+			if v == 0 {
+				return ""
+			}
+			return fmt.Sprintf("%.1f%%", v)
+		}
+		fmt.Fprintf(&sb, "%-20s %10s %12s %13s %8s %10s %11s\n",
+			r.Name, cell(r.InPE), cell(r.InDomain), cell(r.InCluster),
+			pct(r.PctPE), pct(r.PctDomain), pct(r.PctCluster))
+	}
+	return sb.String()
+}

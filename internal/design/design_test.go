@@ -1,0 +1,208 @@
+package design
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+func TestEnumerateSize(t *testing.T) {
+	n := len(Enumerate())
+	// The paper: "over twenty-one thousand WaveScalar processor
+	// configurations" from the Table 3 ranges.
+	if n < 21_000 || n > 40_000 {
+		t.Errorf("enumerated %d configurations, expected the paper's >21k regime", n)
+	}
+}
+
+func TestViableProperties(t *testing.T) {
+	pts := Viable()
+	if len(pts) < 30 || len(pts) > 120 {
+		t.Errorf("viable designs = %d, expected a few tens (paper: 41)", len(pts))
+	}
+	for _, p := range pts {
+		a := p.Arch
+		if p.Area > MaxDie {
+			t.Errorf("%v exceeds die bound: %.1f", a, p.Area)
+		}
+		if a.Match != a.Virt {
+			t.Errorf("%v violates virtualization ratio 1", a)
+		}
+		if a.Capacity() < 4096 {
+			t.Errorf("%v below 4K capacity", a)
+		}
+		if a.PEs < 8 && a.Domains != 1 {
+			t.Errorf("%v has small domains in a multi-domain cluster", a)
+		}
+		if a.Domains < 4 && a.Clusters != 1 {
+			t.Errorf("%v has multiple clusters with small domains", a)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%v outside model ranges: %v", a, err)
+		}
+	}
+	// Sorted by area.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Area < pts[i-1].Area {
+			t.Fatal("viable points not sorted by area")
+		}
+	}
+	// The sweep must include both one-cluster and 16-cluster machines
+	// (the paper's frontier spans 39mm2 to 399mm2).
+	haveC := map[int]bool{}
+	for _, p := range pts {
+		haveC[p.Arch.Clusters] = true
+	}
+	if !haveC[1] || !haveC[4] || !haveC[16] {
+		t.Errorf("viable set misses cluster counts: %v", haveC)
+	}
+	if pts[0].Area > 60 || pts[len(pts)-1].Area < 300 {
+		t.Errorf("viable area range [%.0f, %.0f] does not span the paper's 40-400",
+			pts[0].Area, pts[len(pts)-1].Area)
+	}
+}
+
+func TestParetoExtraction(t *testing.T) {
+	evals := []Evaluated{
+		{Point{Area: 10}, 1.0},
+		{Point{Area: 20}, 0.9}, // dominated
+		{Point{Area: 30}, 2.0},
+		{Point{Area: 30.5}, 1.9}, // dominated
+		{Point{Area: 40}, 3.0},
+	}
+	f := Pareto(evals)
+	if len(f) != 3 {
+		t.Fatalf("frontier size = %d, want 3", len(f))
+	}
+	wantAreas := []float64{10, 30, 40}
+	for i, e := range f {
+		if e.Area != wantAreas[i] {
+			t.Errorf("frontier[%d].Area = %v, want %v", i, e.Area, wantAreas[i])
+		}
+	}
+}
+
+func TestParetoMonotone(t *testing.T) {
+	f := Pareto([]Evaluated{
+		{Point{Area: 5}, 2}, {Point{Area: 5}, 3}, {Point{Area: 7}, 3},
+	})
+	// Equal-area keeps the faster; equal-AIPC keeps the smaller.
+	if len(f) != 1 || f[0].Area != 5 || f[0].AIPC != 3 {
+		t.Errorf("frontier = %+v", f)
+	}
+}
+
+func TestFrontierTable(t *testing.T) {
+	rows := FrontierTable([]Evaluated{
+		{Point{Area: 100}, 2.0},
+		{Point{Area: 110}, 2.5},
+	})
+	if rows[0].AreaIncrease != 0 || rows[1].AreaIncrease != 10 {
+		t.Errorf("area increases: %+v", rows)
+	}
+	if rows[1].AIPCIncrease != 25 {
+		t.Errorf("aipc increase = %v, want 25", rows[1].AIPCIncrease)
+	}
+	if out := FormatFrontier(rows); len(out) == 0 {
+		t.Error("empty format")
+	}
+}
+
+func TestSweepSmall(t *testing.T) {
+	pts := Viable()[:2]
+	apps := []workload.Workload{mustWorkload(t, "gzip")}
+	res := Sweep(pts, apps, SweepOptions{Scale: workload.Tiny})
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("sweep point %d failed: %v", i, r.Err)
+		}
+		if r.AIPC["gzip"] <= 0 {
+			t.Errorf("point %d: AIPC %v", i, r.AIPC)
+		}
+		if r.Threads["gzip"] != 1 {
+			t.Errorf("single-threaded app best threads = %d", r.Threads["gzip"])
+		}
+	}
+	f := Frontier(res)
+	if len(f) == 0 {
+		t.Error("empty frontier")
+	}
+}
+
+func TestBestThreadsPicksWinner(t *testing.T) {
+	w := mustWorkload(t, "fft")
+	inst := w.Build(workload.Tiny)
+	arch := sim.BaselineArch()
+	arch.Clusters = 4
+	cfg := sim.Baseline(arch)
+	aipc, n, err := BestThreads(cfg, inst, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("best thread count = %d, want 4 on a 4-cluster machine", n)
+	}
+	if aipc <= 0 {
+		t.Error("zero AIPC")
+	}
+}
+
+func TestTuneGzip(t *testing.T) {
+	opt := DefaultTuneOptions()
+	opt.Ks = []int{1, 2, 4}
+	opt.Us = []int{1, 4, 16, 64}
+	tn, err := Tune(mustWorkload(t, "gzip"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.KOpt < 1 || tn.KOpt > 4 {
+		t.Errorf("k_opt = %d", tn.KOpt)
+	}
+	if tn.UOpt < 1 || tn.UOpt > 64 {
+		t.Errorf("u_opt = %d", tn.UOpt)
+	}
+	if tn.Ratio <= 0 || tn.Ratio > 4 {
+		t.Errorf("ratio = %v", tn.Ratio)
+	}
+}
+
+func TestMaxRatio(t *testing.T) {
+	r := MaxRatio([]Tuning{{Ratio: 0.19}, {Ratio: 0.4}, {Ratio: 0.9}})
+	if r != 1.0 {
+		t.Errorf("MaxRatio = %v, want 1.0 (next power of two above 0.9)", r)
+	}
+	if r := MaxRatio([]Tuning{{Ratio: 0.1}}); r != 0.125 {
+		t.Errorf("MaxRatio = %v, want 0.125", r)
+	}
+}
+
+func mustWorkload(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q missing", name)
+	}
+	return w
+}
+
+func TestWriteCSV(t *testing.T) {
+	apps := []workload.Workload{mustWorkload(t, "gzip")}
+	res := Sweep(Viable()[:2], apps, SweepOptions{Scale: workload.Tiny})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res, apps); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 rows", len(lines))
+	}
+	if !strings.Contains(lines[0], "gzip_aipc") || !strings.Contains(lines[0], "area_mm2") {
+		t.Errorf("header = %q", lines[0])
+	}
+}

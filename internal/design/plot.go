@@ -1,0 +1,101 @@
+package design
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ScatterPlot renders an ASCII area-vs-AIPC scatter in the shape of
+// Figure 6: every evaluated design is a point ('.'), Pareto-optimal
+// designs are circled ('o'), and labeled points (Figure 7's a–e) render
+// as their label characters.
+type ScatterPlot struct {
+	Width, Height int
+	XLabel        string
+	YLabel        string
+
+	points []plotPoint
+}
+
+type plotPoint struct {
+	x, y  float64
+	glyph byte
+}
+
+// NewScatterPlot creates a plot surface (sensible terminal defaults when
+// width/height are zero).
+func NewScatterPlot() *ScatterPlot {
+	return &ScatterPlot{Width: 72, Height: 20, XLabel: "area (mm2)", YLabel: "AIPC"}
+}
+
+// Add places one point with the default glyph.
+func (p *ScatterPlot) Add(area, aipc float64) { p.AddGlyph(area, aipc, '.') }
+
+// AddGlyph places one point with an explicit glyph (later points draw over
+// earlier ones, so add frontier markers after the cloud).
+func (p *ScatterPlot) AddGlyph(area, aipc float64, glyph byte) {
+	if math.IsNaN(area) || math.IsNaN(aipc) {
+		return
+	}
+	p.points = append(p.points, plotPoint{x: area, y: aipc, glyph: glyph})
+}
+
+// AddSeries adds a full evaluation set, then circles its frontier.
+func (p *ScatterPlot) AddSeries(evals []Evaluated) {
+	for _, e := range evals {
+		p.Add(e.Area, e.AIPC)
+	}
+	for _, e := range Pareto(evals) {
+		p.AddGlyph(e.Area, e.AIPC, 'o')
+	}
+}
+
+// Render draws the plot.
+func (p *ScatterPlot) Render() string {
+	if len(p.points) == 0 {
+		return "(no points)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // AIPC axis starts at zero, as in the paper
+	for _, pt := range p.points {
+		minX = math.Min(minX, pt.x)
+		maxX = math.Max(maxX, pt.x)
+		maxY = math.Max(maxY, pt.y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	w, h := p.Width, p.Height
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, pt := range p.points {
+		cx := int(math.Round((pt.x - minX) / (maxX - minX) * float64(w-1)))
+		cy := int(math.Round((pt.y - minY) / (maxY - minY) * float64(h-1)))
+		row := h - 1 - cy
+		grid[row][cx] = pt.glyph
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.YLabel)
+	for i, row := range grid {
+		yv := maxY - (maxY-minY)*float64(i)/float64(h-1)
+		fmt.Fprintf(&b, "%7.2f |%s\n", yv, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "        %-10.0f%s%10.0f  %s\n",
+		minX, strings.Repeat(" ", max(0, w-20)), maxX, p.XLabel)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

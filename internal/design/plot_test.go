@@ -1,0 +1,55 @@
+package design
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterPlotBasics(t *testing.T) {
+	p := NewScatterPlot()
+	p.AddSeries([]Evaluated{
+		{Point{Area: 40}, 1.0},
+		{Point{Area: 100}, 2.0},
+		{Point{Area: 200}, 1.5}, // dominated
+		{Point{Area: 400}, 4.0},
+	})
+	out := p.Render()
+	if !strings.Contains(out, "o") {
+		t.Error("frontier points should be circled")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("dominated points should appear as dots")
+	}
+	if !strings.Contains(out, "AIPC") || !strings.Contains(out, "area (mm2)") {
+		t.Error("axis labels missing")
+	}
+	if !strings.Contains(out, "40") || !strings.Contains(out, "400") {
+		t.Error("x range missing")
+	}
+}
+
+func TestScatterPlotEmpty(t *testing.T) {
+	if out := NewScatterPlot().Render(); !strings.Contains(out, "no points") {
+		t.Errorf("empty plot output: %q", out)
+	}
+}
+
+func TestScatterPlotLabels(t *testing.T) {
+	p := NewScatterPlot()
+	p.Add(10, 1)
+	p.Add(20, 2)
+	p.AddGlyph(15, 1.5, 'b')
+	out := p.Render()
+	if !strings.Contains(out, "b") {
+		t.Error("labeled glyph missing")
+	}
+}
+
+func TestScatterPlotDegenerate(t *testing.T) {
+	p := NewScatterPlot()
+	p.Add(50, 0) // single zero-AIPC point: must not divide by zero
+	out := p.Render()
+	if len(out) == 0 {
+		t.Error("degenerate plot failed to render")
+	}
+}

@@ -1,0 +1,184 @@
+package design
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// RunOnce executes a workload instance on a configuration with the given
+// thread count and returns the run statistics.
+func RunOnce(cfg sim.Config, inst *workload.Instance, threads int) (*sim.Stats, error) {
+	proc, err := sim.New(cfg, inst.Prog, inst.Params(threads), sim.Memory(inst.Mem))
+	if err != nil {
+		return nil, err
+	}
+	return proc.Run()
+}
+
+// BestThreads runs the instance at each thread count and returns the best
+// AIPC and the count achieving it — the paper's "we ran each application
+// with a range of thread counts and report results for the
+// best-performing thread count".
+func BestThreads(cfg sim.Config, inst *workload.Instance, counts []int) (float64, int, error) {
+	bestAIPC, bestN := 0.0, 0
+	for _, n := range counts {
+		if n > inst.MaxThreads {
+			continue
+		}
+		st, err := RunOnce(cfg, inst, n)
+		if err != nil {
+			return 0, 0, fmt.Errorf("threads=%d: %w", n, err)
+		}
+		if a := st.AIPC(); a > bestAIPC {
+			bestAIPC, bestN = a, n
+		}
+	}
+	if bestN == 0 {
+		return 0, 0, fmt.Errorf("no viable thread count")
+	}
+	return bestAIPC, bestN, nil
+}
+
+// SweepResult is one design point's measured performance across a suite.
+type SweepResult struct {
+	Point
+	// AIPC per application name (best over thread counts).
+	AIPC map[string]float64
+	// Threads records the best thread count per application.
+	Threads map[string]int
+	// Mean is the arithmetic mean AIPC over the suite.
+	Mean float64
+	// Err is non-nil if any run failed; such results are excluded from
+	// frontiers.
+	Err error
+}
+
+// SweepOptions configures a design-space sweep.
+type SweepOptions struct {
+	Scale        workload.Scale
+	ThreadCounts []int // for multithreaded workloads; {1} for single-threaded
+	Parallelism  int   // concurrent simulations; 0 = GOMAXPROCS
+	// Configure adapts the baseline microarchitecture per design (e.g.,
+	// setting K); nil uses sim.Baseline.
+	Configure func(p Point) sim.Config
+}
+
+// Sweep evaluates every design point on every workload. Individual
+// simulations are deterministic; the sweep runs them concurrently and
+// reassembles results in input order.
+func Sweep(points []Point, apps []workload.Workload, opt SweepOptions) []SweepResult {
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if len(opt.ThreadCounts) == 0 {
+		opt.ThreadCounts = []int{1}
+	}
+	configure := opt.Configure
+	if configure == nil {
+		configure = func(p Point) sim.Config { return sim.Baseline(p.Arch) }
+	}
+
+	// Build instances once; they are read-only during simulation (the
+	// simulator copies the seed memory).
+	instances := make([]*workload.Instance, len(apps))
+	for i, w := range apps {
+		instances[i] = w.Build(opt.Scale)
+	}
+
+	results := make([]SweepResult, len(points))
+	type job struct{ pi int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				pt := points[j.pi]
+				res := SweepResult{
+					Point:   pt,
+					AIPC:    make(map[string]float64, len(apps)),
+					Threads: make(map[string]int, len(apps)),
+				}
+				cfg := configure(pt)
+				sum := 0.0
+				for ai, app := range apps {
+					aipc, n, err := BestThreads(cfg, instances[ai], opt.ThreadCounts)
+					if err != nil {
+						res.Err = fmt.Errorf("%s on %s: %w", app.Name, pt.Arch, err)
+						break
+					}
+					res.AIPC[app.Name] = aipc
+					res.Threads[app.Name] = n
+					sum += aipc
+				}
+				if res.Err == nil {
+					res.Mean = sum / float64(len(apps))
+				}
+				results[j.pi] = res
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- job{pi: i}
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// Frontier extracts the Pareto frontier from sweep results (failed points
+// are skipped).
+func Frontier(results []SweepResult) []Evaluated {
+	var evals []Evaluated
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		evals = append(evals, Evaluated{Point: r.Point, AIPC: r.Mean})
+	}
+	return Pareto(evals)
+}
+
+// WriteCSV emits sweep results as CSV (one row per design, one column per
+// application plus area and mean), for plotting with external tools.
+func WriteCSV(w io.Writer, results []SweepResult, apps []workload.Workload) error {
+	cw := csv.NewWriter(w)
+	header := []string{"clusters", "domains", "pes", "virt", "match", "l1_kb", "l2_mb", "area_mm2", "mean_aipc"}
+	for _, a := range apps {
+		header = append(header, a.Name+"_aipc", a.Name+"_threads")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		row := []string{
+			strconv.Itoa(r.Arch.Clusters), strconv.Itoa(r.Arch.Domains),
+			strconv.Itoa(r.Arch.PEs), strconv.Itoa(r.Arch.Virt),
+			strconv.Itoa(r.Arch.Match), strconv.Itoa(r.Arch.L1KB),
+			strconv.Itoa(r.Arch.L2MB),
+			strconv.FormatFloat(r.Area, 'f', 2, 64),
+			strconv.FormatFloat(r.Mean, 'f', 4, 64),
+		}
+		for _, a := range apps {
+			row = append(row,
+				strconv.FormatFloat(r.AIPC[a.Name], 'f', 4, 64),
+				strconv.Itoa(r.Threads[a.Name]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,151 @@
+package design
+
+import (
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// Tuning reproduces Table 4: the per-application matching-table parameters.
+type Tuning struct {
+	App   string
+	KOpt  int
+	UOpt  int
+	Ratio float64 // virtualization ratio k_opt / u_opt
+}
+
+// TuneOptions configures the tuning procedure.
+type TuneOptions struct {
+	Scale workload.Scale
+	// Ks are the k-loop bounds to sweep (ascending).
+	Ks []int
+	// Us are the over-subscription factors to sweep (ascending).
+	Us []int
+	// Tol is the relative AIPC tolerance: k_opt is the smallest k within
+	// Tol of the best, u_opt the largest u not losing more than Tol.
+	Tol float64
+}
+
+// DefaultTuneOptions mirrors the paper's procedure: raise k on an
+// effectively infinite matching table until performance stops improving,
+// then with V=256 raise u until performance drops significantly.
+func DefaultTuneOptions() TuneOptions {
+	return TuneOptions{
+		Scale: workload.Tiny,
+		Ks:    []int{1, 2, 3, 4, 6, 8},
+		Us:    []int{1, 2, 4, 8, 16, 32, 64},
+		Tol:   0.05,
+	}
+}
+
+// tuneArch is the machine used for tuning: a single pod (one domain of
+// two PEs) with the largest instruction stores the RTL supports (V=256).
+// The narrow machine concentrates each program's instances onto few
+// matching tables, which is the regime the paper's thousands-of-
+// instructions binaries put a full cluster in; a full cluster would leave
+// our (smaller) kernels with only a handful of instructions per PE and
+// every sweep point flat.
+func tuneArch() sim.Config {
+	arch := sim.BaselineArch()
+	arch.Domains = 1
+	arch.PEs = 2
+	arch.Virt = 256
+	arch.Match = 256
+	cfg := sim.Baseline(arch)
+	return cfg
+}
+
+// Tune computes k_opt, u_opt and the virtualization ratio for one
+// workload, following Section 4.2.
+func Tune(w workload.Workload, opt TuneOptions) (Tuning, error) {
+	inst := w.Build(opt.Scale)
+
+	// Step 1: k_opt on an effectively infinite matching table.
+	kAIPC := make([]float64, len(opt.Ks))
+	best := 0.0
+	for i, k := range opt.Ks {
+		cfg := tuneArch()
+		cfg.Arch.Match = 4096 // "infinite": far beyond any instance demand
+		cfg.K = k
+		st, err := RunOnce(cfg, inst, 1)
+		if err != nil {
+			return Tuning{}, err
+		}
+		kAIPC[i] = st.AIPC()
+		if kAIPC[i] > best {
+			best = kAIPC[i]
+		}
+	}
+	kOpt := opt.Ks[len(opt.Ks)-1]
+	for i, k := range opt.Ks {
+		if kAIPC[i] >= best*(1-opt.Tol) {
+			kOpt = k
+			break
+		}
+	}
+
+	// Step 2: u_opt with V=256 and M = V*k_opt/u.
+	uOpt := opt.Us[0]
+	var ref float64
+	for i, u := range opt.Us {
+		m := 256 * kOpt / u
+		if m < 4 {
+			break
+		}
+		if m%2 != 0 {
+			m++ // keep divisible by the 2-way associativity
+		}
+		cfg := tuneArch()
+		cfg.Arch.Match = m
+		cfg.K = kOpt
+		st, err := RunOnce(cfg, inst, 1)
+		if err != nil {
+			return Tuning{}, err
+		}
+		a := st.AIPC()
+		if i == 0 {
+			ref = a
+			uOpt = u
+			continue
+		}
+		if a < ref*(1-opt.Tol) {
+			break // performance dropped significantly; previous u wins
+		}
+		uOpt = u
+	}
+
+	return Tuning{
+		App:   w.Name,
+		KOpt:  kOpt,
+		UOpt:  uOpt,
+		Ratio: float64(kOpt) / float64(uOpt),
+	}, nil
+}
+
+// TuneAll tunes every registered workload.
+func TuneAll(opt TuneOptions) ([]Tuning, error) {
+	var out []Tuning
+	for _, w := range workload.All() {
+		tn, err := Tune(w, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tn)
+	}
+	return out, nil
+}
+
+// MaxRatio returns the largest (most conservative) virtualization ratio,
+// rounded up to a power of two — the paper's choice for the design sweep.
+func MaxRatio(tunings []Tuning) float64 {
+	m := 0.0
+	for _, t := range tunings {
+		if t.Ratio > m {
+			m = t.Ratio
+		}
+	}
+	r := 1.0 / 8
+	for r < m {
+		r *= 2
+	}
+	return r
+}

@@ -1,0 +1,106 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"wavescalar/internal/area"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+func runStats(t *testing.T, arch area.Params) *sim.Stats {
+	t.Helper()
+	w, ok := workload.ByName("fft")
+	if !ok {
+		t.Fatal("fft missing")
+	}
+	inst := w.Build(workload.Tiny)
+	cfg := sim.Baseline(arch)
+	proc, err := sim.New(cfg, inst.Prog, inst.Params(1), sim.Memory(inst.Mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := proc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestBreakdownSumsAndEPI(t *testing.T) {
+	arch := sim.BaselineArch()
+	st := runStats(t, arch)
+	b := Estimate(Default90nm(), st, arch)
+	sum := b.Execute + b.Matching + b.InstStore + b.Network +
+		b.StoreBuffer + b.Caches + b.DRAM + b.Leakage
+	if b.Total() != sum {
+		t.Errorf("Total %v != component sum %v", b.Total(), sum)
+	}
+	if b.Total() <= 0 {
+		t.Fatal("zero energy")
+	}
+	epi := b.EPI(st.Countable)
+	// Sanity band: tens to thousands of pJ per instruction at 90nm.
+	if epi < 1 || epi > 100_000 {
+		t.Errorf("EPI = %.1f pJ/inst outside sanity band", epi)
+	}
+	if Breakdown.EPI(Breakdown{}, 0) != 0 {
+		t.Error("EPI with zero instructions should be 0")
+	}
+}
+
+func TestLargerTablesCostMore(t *testing.T) {
+	// Same run statistics, bigger matching table: matching energy rises
+	// (per-access energy scales with capacity).
+	arch := sim.BaselineArch()
+	st := runStats(t, arch)
+	small := Estimate(Default90nm(), st, arch)
+	big := arch
+	big.Match = 128
+	small2 := arch
+	small2.Match = 16
+	eBig := Estimate(Default90nm(), st, big)
+	eSmall := Estimate(Default90nm(), st, small2)
+	if eBig.Matching <= eSmall.Matching {
+		t.Errorf("bigger matching tables should cost more per access: %v vs %v",
+			eBig.Matching, eSmall.Matching)
+	}
+	_ = small
+}
+
+func TestLeakageScalesWithArea(t *testing.T) {
+	arch := sim.BaselineArch()
+	st := runStats(t, arch)
+	base := Estimate(Default90nm(), st, arch)
+	bigger := arch
+	bigger.L2MB = 8
+	withL2 := Estimate(Default90nm(), st, bigger)
+	if withL2.Leakage <= base.Leakage {
+		t.Error("more silicon must leak more")
+	}
+}
+
+func TestEnergyFollowsLocality(t *testing.T) {
+	// The network term must be sensitive to the traffic distribution: a
+	// run with all-grid traffic costs more than all-pod traffic.
+	var local, remote sim.Stats
+	local.Traffic[sim.LevelPod][sim.ClassOperand] = 1000
+	remote.Traffic[sim.LevelGrid][sim.ClassOperand] = 1000
+	m := Default90nm()
+	arch := sim.BaselineArch()
+	if Estimate(m, &remote, arch).Network <= Estimate(m, &local, arch).Network {
+		t.Error("grid traffic must cost more than pod traffic")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	arch := sim.BaselineArch()
+	st := runStats(t, arch)
+	out := Estimate(Default90nm(), st, arch).Format(st.Countable)
+	for _, want := range []string{"matching", "leakage", "total", "pJ/instruction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted breakdown missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,566 @@
+// Package graph provides a builder API for constructing WaveScalar dataflow
+// programs: the compiler substrate of the reproduction. It turns structured
+// descriptions — straight-line arithmetic, loops, conditional stores — into
+// isa.Programs with correct steering, wave management, and wave-ordered
+// memory annotations.
+//
+// The builder enforces WaveScalar's wave discipline. Every Value carries the
+// wave epoch it was produced in; instructions may only combine values from
+// the same epoch. Loops advance the epoch on entry, on every back edge, and
+// on exit, so all state that survives a loop must travel through it as a
+// loop variable. Violations panic during construction with a description of
+// the offending instruction, because they are programming errors in the
+// kernel being built (the dynamic equivalent would be a silent matching
+// deadlock).
+package graph
+
+import (
+	"fmt"
+
+	"wavescalar/internal/isa"
+)
+
+// Value is a handle to a dataflow value: the output of an instruction (or
+// one side of a steer), or a program parameter injected by the loader.
+type Value struct {
+	b     *Builder
+	kind  valueKind
+	inst  isa.InstID // producer, for kindInst/kindSteerT
+	param int        // index into params, for kindParam
+	epoch int        // wave epoch the value is live in
+}
+
+type valueKind uint8
+
+const (
+	kindNone   valueKind = iota
+	kindInst             // ordinary instruction result (producer's Dests)
+	kindSteerT           // true side of a steer (producer's DestsT)
+	kindParam            // loader-injected parameter
+)
+
+// Builder incrementally constructs an isa.Program.
+type Builder struct {
+	name      string
+	insts     []isa.Instruction
+	params    []isa.Param
+	paramIdx  map[string]int
+	epoch     int
+	regions   []*memRegion // stack; top is the current wave's memory chain
+	allChains []*memRegion // every region ever opened, for seq assignment
+	halted    bool
+}
+
+// memRegion is the memory chain of one wave context.
+//
+// Wave-ordered memory is sequential across waves: wave w+1's operations may
+// not issue until wave w's chain completes. Every dynamic wave therefore
+// needs a non-empty chain, or later waves would stall forever. Regions that
+// end up empty get a MemNop materialized at Finish, wired to the region's
+// trigger — a value guaranteed to arrive once per dynamic instance of the
+// wave (the start parameter for the initial region, the first loop-exit
+// value for post-loop regions; empty loop bodies are handled at End with
+// the continue predicate).
+type memRegion struct {
+	elems   []memElem
+	trigger Value // used only if the region is empty at Finish
+}
+
+// memElem is one slot in a wave's memory order: either a single operation
+// or a conditional pair (taken arm, untaken MemNop arm).
+type memElem struct {
+	op  isa.InstID
+	alt isa.InstID // NoInst unless conditional pair
+}
+
+// New returns a Builder for a program with the given name.
+func New(name string) *Builder {
+	b := &Builder{
+		name:     name,
+		paramIdx: make(map[string]int),
+	}
+	b.regions = []*memRegion{b.newRegion()}
+	return b
+}
+
+func (b *Builder) newRegion() *memRegion {
+	r := &memRegion{}
+	b.allChains = append(b.allChains, r)
+	return r
+}
+
+func (b *Builder) region() *memRegion { return b.regions[len(b.regions)-1] }
+
+func (b *Builder) pushRegion() { b.regions = append(b.regions, b.newRegion()) }
+
+func (b *Builder) popRegion() {
+	if len(b.regions) == 1 {
+		panic("graph: region stack underflow")
+	}
+	b.regions = b.regions[:len(b.regions)-1]
+}
+
+// replaceRegion swaps the current region for a fresh one (used after loop
+// exit: the post-loop code is a new wave). trigger is a value that arrives
+// once per dynamic instance of the new wave.
+func (b *Builder) replaceRegion(trigger Value) {
+	r := b.newRegion()
+	r.trigger = trigger
+	b.regions[len(b.regions)-1] = r
+}
+
+func (b *Builder) newInst(op isa.Opcode, imm uint64, name string) isa.InstID {
+	id := isa.InstID(len(b.insts))
+	in := isa.Instruction{ID: id, Op: op, Imm: imm, Name: name}
+	if op.IsMemory() {
+		in.Mem = &isa.MemInfo{} // seq numbers assigned in Finish
+	}
+	b.insts = append(b.insts, in)
+	return id
+}
+
+// connect wires value v to port of inst.
+func (b *Builder) connect(v Value, inst isa.InstID, port isa.PortID) {
+	if v.b != b {
+		panic("graph: value from a different builder")
+	}
+	t := isa.Target{Inst: inst, Port: port}
+	switch v.kind {
+	case kindInst:
+		b.insts[v.inst].Dests = append(b.insts[v.inst].Dests, t)
+	case kindSteerT:
+		b.insts[v.inst].DestsT = append(b.insts[v.inst].DestsT, t)
+	case kindParam:
+		b.params[v.param].Targets = append(b.params[v.param].Targets, t)
+	default:
+		panic("graph: use of zero Value")
+	}
+}
+
+// checkEpoch verifies that v is live in the current wave epoch.
+func (b *Builder) checkEpoch(v Value, what string) {
+	if v.kind == kindNone {
+		panic(fmt.Sprintf("graph: %s: zero Value used as input", what))
+	}
+	if v.epoch != b.epoch {
+		panic(fmt.Sprintf(
+			"graph: %s: value from wave epoch %d used in epoch %d; "+
+				"values must be carried through loops as loop variables",
+			what, v.epoch, b.epoch))
+	}
+}
+
+func (b *Builder) result(inst isa.InstID) Value {
+	return Value{b: b, kind: kindInst, inst: inst, epoch: b.epoch}
+}
+
+// Param declares (or retrieves) a named program parameter. Parameters are
+// injected by the loader as wave-0 tokens when a thread starts; they are
+// only valid in the initial epoch.
+func (b *Builder) Param(name string) Value {
+	if i, ok := b.paramIdx[name]; ok {
+		return Value{b: b, kind: kindParam, param: i, epoch: 0}
+	}
+	i := len(b.params)
+	b.params = append(b.params, isa.Param{Name: name})
+	b.paramIdx[name] = i
+	return Value{b: b, kind: kindParam, param: i, epoch: 0}
+}
+
+// Start returns the canonical trigger parameter, delivered to every thread
+// at wave 0 with the value 1.
+func (b *Builder) Start() Value { return b.Param("start") }
+
+// unary builds a one-input instruction.
+func (b *Builder) unary(op isa.Opcode, imm uint64, a Value, name string) Value {
+	b.checkEpoch(a, name)
+	id := b.newInst(op, imm, name)
+	b.connect(a, id, 0)
+	return b.result(id)
+}
+
+// binary builds a two-input instruction.
+func (b *Builder) binary(op isa.Opcode, x, y Value, name string) Value {
+	b.checkEpoch(x, name)
+	b.checkEpoch(y, name)
+	id := b.newInst(op, 0, name)
+	b.connect(x, id, 0)
+	b.connect(y, id, 1)
+	return b.result(id)
+}
+
+// Const emits a constant triggered by trig (constants re-fire each wave the
+// trigger arrives in).
+func (b *Builder) Const(trig Value, v uint64) Value {
+	return b.unary(isa.OpConst, v, trig, "const")
+}
+
+// ConstF emits a floating-point constant.
+func (b *Builder) ConstF(trig Value, f float64) Value {
+	return b.unary(isa.OpConst, isa.F2U(f), trig, "constf")
+}
+
+// Nop forwards a value (an identity; WaveScalar overhead).
+func (b *Builder) Nop(a Value) Value { return b.unary(isa.OpNop, 0, a, "nop") }
+
+// Arithmetic and logic.
+
+func (b *Builder) Add(x, y Value) Value { return b.binary(isa.OpAdd, x, y, "add") }
+func (b *Builder) Sub(x, y Value) Value { return b.binary(isa.OpSub, x, y, "sub") }
+func (b *Builder) Mul(x, y Value) Value { return b.binary(isa.OpMul, x, y, "mul") }
+func (b *Builder) Div(x, y Value) Value { return b.binary(isa.OpDiv, x, y, "div") }
+func (b *Builder) Rem(x, y Value) Value { return b.binary(isa.OpRem, x, y, "rem") }
+func (b *Builder) And(x, y Value) Value { return b.binary(isa.OpAnd, x, y, "and") }
+func (b *Builder) Or(x, y Value) Value  { return b.binary(isa.OpOr, x, y, "or") }
+func (b *Builder) Xor(x, y Value) Value { return b.binary(isa.OpXor, x, y, "xor") }
+func (b *Builder) Shl(x, y Value) Value { return b.binary(isa.OpShl, x, y, "shl") }
+func (b *Builder) Shr(x, y Value) Value { return b.binary(isa.OpShr, x, y, "shr") }
+
+func (b *Builder) AddI(x Value, imm uint64) Value { return b.unary(isa.OpAddI, imm, x, "addi") }
+func (b *Builder) SubI(x Value, imm uint64) Value { return b.unary(isa.OpAddI, -imm, x, "subi") }
+func (b *Builder) MulI(x Value, imm uint64) Value { return b.unary(isa.OpMulI, imm, x, "muli") }
+func (b *Builder) AndI(x Value, imm uint64) Value { return b.unary(isa.OpAndI, imm, x, "andi") }
+func (b *Builder) ShlI(x Value, imm uint64) Value { return b.unary(isa.OpShlI, imm, x, "shli") }
+func (b *Builder) ShrI(x Value, imm uint64) Value { return b.unary(isa.OpShrI, imm, x, "shri") }
+
+// Comparisons.
+
+func (b *Builder) EQ(x, y Value) Value  { return b.binary(isa.OpEQ, x, y, "eq") }
+func (b *Builder) NE(x, y Value) Value  { return b.binary(isa.OpNE, x, y, "ne") }
+func (b *Builder) LT(x, y Value) Value  { return b.binary(isa.OpLT, x, y, "lt") }
+func (b *Builder) LE(x, y Value) Value  { return b.binary(isa.OpLE, x, y, "le") }
+func (b *Builder) ULT(x, y Value) Value { return b.binary(isa.OpULT, x, y, "ult") }
+
+// LTI compares signed x < imm.
+func (b *Builder) LTI(x Value, imm int64) Value {
+	return b.unary(isa.OpLTI, uint64(imm), x, "lti")
+}
+
+// Floating point.
+
+func (b *Builder) FAdd(x, y Value) Value { return b.binary(isa.OpFAdd, x, y, "fadd") }
+func (b *Builder) FSub(x, y Value) Value { return b.binary(isa.OpFSub, x, y, "fsub") }
+func (b *Builder) FMul(x, y Value) Value { return b.binary(isa.OpFMul, x, y, "fmul") }
+func (b *Builder) FDiv(x, y Value) Value { return b.binary(isa.OpFDiv, x, y, "fdiv") }
+func (b *Builder) FLT(x, y Value) Value  { return b.binary(isa.OpFLT, x, y, "flt") }
+
+// I2F converts a signed integer to double; F2I truncates back.
+func (b *Builder) I2F(x Value) Value { return b.unary(isa.OpI2F, 0, x, "i2f") }
+func (b *Builder) F2I(x Value) Value { return b.unary(isa.OpF2I, 0, x, "f2i") }
+
+// Select returns ifTrue when pred is nonzero, else ifFalse. Both arms are
+// computed; this is the cheap, 3-input predication WaveScalar provides
+// (the predicate travels on the single-bit third matching-table column).
+func (b *Builder) Select(pred, ifTrue, ifFalse Value) Value {
+	b.checkEpoch(pred, "select")
+	b.checkEpoch(ifTrue, "select")
+	b.checkEpoch(ifFalse, "select")
+	id := b.newInst(isa.OpSelect, 0, "select")
+	b.connect(ifTrue, id, 0)
+	b.connect(ifFalse, id, 1)
+	b.connect(pred, id, 2)
+	return b.result(id)
+}
+
+// Steer forwards data to exactly one side depending on pred: the returned
+// values are the true-side and false-side outputs. Only the taken side's
+// consumers ever receive a token.
+func (b *Builder) Steer(pred, data Value) (t, f Value) {
+	b.checkEpoch(pred, "steer")
+	b.checkEpoch(data, "steer")
+	id := b.newInst(isa.OpSteer, 0, "steer")
+	b.connect(data, id, 0)
+	b.connect(pred, id, 2)
+	t = Value{b: b, kind: kindSteerT, inst: id, epoch: b.epoch}
+	f = b.result(id)
+	return t, f
+}
+
+// Load reads the 64-bit word at addr, appending the access to the current
+// wave's memory chain.
+func (b *Builder) Load(addr Value) Value {
+	b.checkEpoch(addr, "load")
+	id := b.newInst(isa.OpLoad, 0, "load")
+	b.connect(addr, id, 0)
+	b.region().elems = append(b.region().elems, memElem{op: id, alt: isa.NoInst})
+	return b.result(id)
+}
+
+// Store writes data to addr in wave order. The returned value is the stored
+// datum, emitted when the store issues (usually discarded).
+func (b *Builder) Store(addr, data Value) Value {
+	b.checkEpoch(addr, "store")
+	b.checkEpoch(data, "store")
+	id := b.newInst(isa.OpStore, 0, "store")
+	b.connect(addr, id, 0)
+	b.connect(data, id, 1)
+	b.region().elems = append(b.region().elems, memElem{op: id, alt: isa.NoInst})
+	return b.result(id)
+}
+
+// MemNop inserts an explicit no-op into the wave's memory chain, triggered
+// by trig.
+func (b *Builder) MemNop(trig Value) Value {
+	b.checkEpoch(trig, "memnop")
+	id := b.newInst(isa.OpMemNop, 0, "memnop")
+	b.connect(trig, id, 0)
+	b.region().elems = append(b.region().elems, memElem{op: id, alt: isa.NoInst})
+	return b.result(id)
+}
+
+// CondStore performs the store only when pred is nonzero. The untaken path
+// sends a MemNop so the wave's memory chain still completes: this is the
+// standard wave-ordered-memory idiom for stores under control flow.
+func (b *Builder) CondStore(pred, addr, data Value) {
+	b.checkEpoch(pred, "condstore")
+	b.checkEpoch(addr, "condstore")
+	b.checkEpoch(data, "condstore")
+
+	// Two consecutive conditional pairs would leave the ripple with
+	// wildcard-to-wildcard adjacency; separate them with a plain MemNop
+	// triggered by the predicate (which arrives every wave).
+	r := b.region()
+	if n := len(r.elems); n > 0 && r.elems[n-1].alt != isa.NoInst {
+		b.MemNop(pred)
+	}
+
+	st := b.newInst(isa.OpStore, 0, "condstore")
+	nopID := b.newInst(isa.OpMemNop, 0, "condnop")
+
+	sa := b.newInst(isa.OpSteer, 0, "steer-addr")
+	b.connect(addr, sa, 0)
+	b.connect(pred, sa, 2)
+	b.insts[sa].DestsT = append(b.insts[sa].DestsT, isa.Target{Inst: st, Port: 0})
+	// False side of the address steer triggers the MemNop.
+	b.insts[sa].Dests = append(b.insts[sa].Dests, isa.Target{Inst: nopID, Port: 0})
+
+	sd := b.newInst(isa.OpSteer, 0, "steer-data")
+	b.connect(data, sd, 0)
+	b.connect(pred, sd, 2)
+	b.insts[sd].DestsT = append(b.insts[sd].DestsT, isa.Target{Inst: st, Port: 1})
+
+	b.region().elems = append(b.region().elems, memElem{op: st, alt: nopID})
+}
+
+// Loop is an in-progress loop construct.
+type Loop struct {
+	b       *Builder
+	anchors []isa.InstID // loop-top identity per variable
+	done    bool
+}
+
+// Loop enters a loop whose per-iteration state is the given values. Each
+// iteration executes in its own wave. All values live across the loop must
+// be passed here (including loop-invariant ones); the loop body accesses
+// them via Var.
+func (b *Builder) Loop(vals ...Value) *Loop {
+	if len(vals) == 0 {
+		panic("graph: loop with no variables")
+	}
+	l := &Loop{b: b}
+	// The current wave's chain closes here (the loop entry advances the
+	// wave); if it has no trigger yet, the first loop init arrives exactly
+	// once per dynamic instance of this wave and serves as one.
+	if r := b.region(); r.trigger.kind == kindNone {
+		r.trigger = vals[0]
+	}
+	for i, v := range vals {
+		b.checkEpoch(v, "loop init")
+		adv := b.newInst(isa.OpWaveAdv, 0, "loop-entry-wadv")
+		b.connect(v, adv, 0)
+		anchor := b.newInst(isa.OpNop, 0, fmt.Sprintf("loop-var%d", i))
+		b.insts[adv].Dests = append(b.insts[adv].Dests, isa.Target{Inst: anchor, Port: 0})
+		l.anchors = append(l.anchors, anchor)
+	}
+	b.epoch++
+	b.pushRegion() // iteration body is a fresh wave chain
+	return l
+}
+
+// Var returns loop variable i's value within the current iteration.
+func (l *Loop) Var(i int) Value {
+	if l.done {
+		panic("graph: Loop.Var after End")
+	}
+	return Value{b: l.b, kind: kindInst, inst: l.anchors[i], epoch: l.b.epoch}
+}
+
+// End closes the loop. cont is the continue predicate: when nonzero, next[i]
+// becomes Var(i) of the following iteration (in the next wave); when zero
+// the loop exits and End's results carry next[i] into the post-loop wave.
+func (l *Loop) End(cont Value, next ...Value) []Value {
+	b := l.b
+	if l.done {
+		panic("graph: Loop.End called twice")
+	}
+	if len(next) != len(l.anchors) {
+		panic(fmt.Sprintf("graph: loop has %d variables but End got %d", len(l.anchors), len(next)))
+	}
+	b.checkEpoch(cont, "loop continue predicate")
+	l.done = true
+
+	exits := make([]Value, len(next))
+	for i, v := range next {
+		b.checkEpoch(v, "loop next value")
+		s := b.newInst(isa.OpSteer, 0, fmt.Sprintf("loop-steer%d", i))
+		b.connect(v, s, 0)
+		b.connect(cont, s, 2)
+		// True side: back edge through a wave advance to the anchor.
+		back := b.newInst(isa.OpWaveAdv, 0, "loop-back-wadv")
+		b.insts[s].DestsT = append(b.insts[s].DestsT, isa.Target{Inst: back, Port: 0})
+		b.insts[back].Dests = append(b.insts[back].Dests, isa.Target{Inst: l.anchors[i], Port: 0})
+		// False side: exit through a wave advance into the post-loop wave.
+		exitAdv := b.newInst(isa.OpWaveAdv, 0, "loop-exit-wadv")
+		b.insts[s].Dests = append(b.insts[s].Dests, isa.Target{Inst: exitAdv, Port: 0})
+		exits[i] = Value{b: b, kind: kindInst, inst: exitAdv, epoch: b.epoch + 1}
+	}
+	// An empty loop body would leave its per-iteration waves without a
+	// memory chain, stalling all later waves; the continue predicate fires
+	// every iteration, so it triggers a MemNop.
+	if len(b.region().elems) == 0 {
+		b.MemNop(cont)
+	}
+	b.popRegion()
+	// Post-loop code is a new wave in the enclosing region, triggered by
+	// the first exit value.
+	b.replaceRegion(exits[0])
+	b.epoch++
+	return exits
+}
+
+// Halt marks the program's completion trigger. It must be called exactly
+// once, with a value produced in the final epoch.
+func (b *Builder) Halt(trig Value) {
+	if b.halted {
+		panic("graph: Halt called twice")
+	}
+	b.halted = true
+	b.unary(isa.OpHalt, 0, trig, "halt")
+}
+
+// Finish assigns wave-ordered memory sequence numbers, validates the
+// program, and returns it.
+func (b *Builder) Finish() (*isa.Program, error) {
+	if len(b.regions) != 1 {
+		return nil, fmt.Errorf("graph: %d unclosed loops", len(b.regions)-1)
+	}
+	if !b.halted {
+		return nil, fmt.Errorf("graph: program %q has no Halt", b.name)
+	}
+	if err := b.materializeEmptyChains(); err != nil {
+		return nil, err
+	}
+	for _, r := range b.allChains {
+		b.assignSeqs(r)
+	}
+	p := &isa.Program{
+		Name:   b.name,
+		Insts:  b.insts,
+		Params: b.params,
+	}
+	for i := range b.insts {
+		if b.insts[i].Op == isa.OpHalt {
+			p.Halt = isa.InstID(i)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustFinish is Finish that panics on error, for statically known-good
+// kernels.
+func (b *Builder) MustFinish() *isa.Program {
+	p, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// materializeEmptyChains gives every empty wave region a MemNop, wired to
+// the region's trigger, so that cross-wave sequencing never stalls on a
+// wave with no memory operations. Programs with no memory anywhere skip
+// this entirely (they never touch a store buffer).
+func (b *Builder) materializeEmptyChains() error {
+	hasMem := false
+	for _, r := range b.allChains {
+		if len(r.elems) > 0 {
+			hasMem = true
+			break
+		}
+	}
+	if !hasMem {
+		return nil
+	}
+	for i, r := range b.allChains {
+		if len(r.elems) > 0 {
+			continue
+		}
+		trig := r.trigger
+		if trig.kind == kindNone {
+			if i == 0 {
+				trig = b.Param("start")
+			} else {
+				return fmt.Errorf("graph: wave region %d is empty and has no trigger", i)
+			}
+		}
+		id := b.newInst(isa.OpMemNop, 0, "wave-memnop")
+		b.connect(trig, id, 0)
+		r.elems = append(r.elems, memElem{op: id, alt: isa.NoInst})
+	}
+	return nil
+}
+
+// assignSeqs numbers a region's memory chain and wires the pred/succ links,
+// inserting SeqWild around conditional pairs.
+func (b *Builder) assignSeqs(r *memRegion) {
+	// Assign sequence numbers.
+	seq := int32(0)
+	seqOf := make([]int32, len(r.elems))
+	for i, e := range r.elems {
+		seqOf[i] = seq
+		seq++
+		if e.alt != isa.NoInst {
+			seq++ // the alternate arm takes the next number
+		}
+	}
+	set := func(id isa.InstID, pred, s, succ int32) {
+		m := b.insts[id].Mem
+		m.Pred, m.Seq, m.Succ = pred, s, succ
+	}
+	for i, e := range r.elems {
+		pred := isa.SeqNone
+		if i > 0 {
+			prev := r.elems[i-1]
+			if prev.alt != isa.NoInst {
+				pred = isa.SeqWild
+			} else {
+				pred = seqOf[i-1]
+			}
+		}
+		succ := isa.SeqNone
+		if i+1 < len(r.elems) {
+			nxt := r.elems[i+1]
+			if nxt.alt != isa.NoInst {
+				succ = isa.SeqWild
+			} else {
+				succ = seqOf[i+1]
+			}
+		}
+		if e.alt == isa.NoInst {
+			set(e.op, pred, seqOf[i], succ)
+			continue
+		}
+		// Conditional pair: both arms share pred and succ semantics. The
+		// arms know their concrete neighbours (CondStore guarantees the
+		// neighbours are unconditional), so pred/succ are concrete here
+		// and the *neighbours* carry the wildcards.
+		set(e.op, pred, seqOf[i], succ)
+		set(e.alt, pred, seqOf[i]+1, succ)
+	}
+}
+
+// NumInsts reports how many instructions have been emitted so far.
+func (b *Builder) NumInsts() int { return len(b.insts) }

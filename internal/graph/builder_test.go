@@ -1,0 +1,361 @@
+package graph_test
+
+import (
+	"strings"
+	"testing"
+
+	"wavescalar/internal/graph"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/ref"
+)
+
+// run executes a program functionally and fails the test on any error.
+func run(t *testing.T, p *isa.Program, mem ref.Memory, params map[string]uint64) (*ref.Result, ref.Memory) {
+	t.Helper()
+	ip := ref.New(p, mem)
+	res, err := ip.Run(0, params)
+	if err != nil {
+		t.Fatalf("ref execution of %q failed: %v", p.Name, err)
+	}
+	return res, ip.Memory()
+}
+
+func TestStraightLine(t *testing.T) {
+	b := graph.New("straight")
+	s := b.Start()
+	x := b.Const(s, 10)
+	y := b.Const(s, 32)
+	z := b.Add(x, y)
+	b.Halt(z)
+	p := b.MustFinish()
+
+	res, _ := run(t, p, nil, nil)
+	if res.HaltValue != 42 {
+		t.Errorf("halt value = %d, want 42", res.HaltValue)
+	}
+	if res.ByOpcode[isa.OpAdd] != 1 {
+		t.Errorf("add fired %d times, want 1", res.ByOpcode[isa.OpAdd])
+	}
+}
+
+func TestSumLoop(t *testing.T) {
+	// for i=0, acc=0; i<n; i++ { acc += i }
+	b := graph.New("sumloop")
+	s := b.Start()
+	n := b.Param("n")
+	_ = s
+	i0 := b.Const(n, 0) // triggered by n so both are wave-0 values
+	acc0 := b.Const(n, 0)
+	l := b.Loop(i0, acc0, b.Nop(n))
+	i, acc, nn := l.Var(0), l.Var(1), l.Var(2)
+	acc1 := b.Add(acc, i)
+	i1 := b.AddI(i, 1)
+	cont := b.ULT(i1, nn)
+	out := l.End(cont, i1, acc1, nn)
+	b.Halt(out[1])
+	p := b.MustFinish()
+
+	res, _ := run(t, p, nil, map[string]uint64{"n": 10})
+	if res.HaltValue != 45 {
+		t.Errorf("sum 0..9 = %d, want 45", res.HaltValue)
+	}
+	// The add fires once per iteration.
+	if res.ByOpcode[isa.OpAdd] != 10 {
+		t.Errorf("add fired %d times, want 10", res.ByOpcode[isa.OpAdd])
+	}
+	if res.Countable == 0 || res.Countable >= res.Dynamic {
+		t.Errorf("countable (%d) should be positive and below dynamic (%d): overhead must exist",
+			res.Countable, res.Dynamic)
+	}
+}
+
+func TestMemoryLoopStoreLoad(t *testing.T) {
+	// for i in 0..n: A[i] = i*2 ; then sum A[i] in a second loop.
+	b := graph.New("memloop")
+	n := b.Param("n")
+	base := b.Param("base")
+	i0 := b.Const(n, 0)
+	l := b.Loop(i0, b.Nop(base), b.Nop(n))
+	i, bs, nn := l.Var(0), l.Var(1), l.Var(2)
+	addr := b.Add(bs, b.ShlI(i, 3))
+	b.Store(addr, b.MulI(i, 2))
+	i1 := b.AddI(i, 1)
+	out := l.End(b.ULT(i1, nn), i1, bs, nn)
+
+	j0 := b.Const(out[2], 0)
+	sum0 := b.Const(out[2], 0)
+	l2 := b.Loop(j0, sum0, out[1], out[2])
+	j, sum, bs2, n2 := l2.Var(0), l2.Var(1), l2.Var(2), l2.Var(3)
+	v := b.Load(b.Add(bs2, b.ShlI(j, 3)))
+	sum1 := b.Add(sum, v)
+	j1 := b.AddI(j, 1)
+	out2 := l2.End(b.ULT(j1, n2), j1, sum1, bs2, n2)
+	b.Halt(out2[1])
+	p := b.MustFinish()
+
+	res, mem := run(t, p, nil, map[string]uint64{"n": 8, "base": 0x1000})
+	want := uint64(0 + 2 + 4 + 6 + 8 + 10 + 12 + 14)
+	if res.HaltValue != want {
+		t.Errorf("sum = %d, want %d", res.HaltValue, want)
+	}
+	if mem[0x1000+3*8] != 6 {
+		t.Errorf("A[3] = %d, want 6", mem[0x1000+3*8])
+	}
+	if res.ByOpcode[isa.OpLoad] != 8 || res.ByOpcode[isa.OpStore] != 8 {
+		t.Errorf("loads=%d stores=%d, want 8/8",
+			res.ByOpcode[isa.OpLoad], res.ByOpcode[isa.OpStore])
+	}
+}
+
+func TestCondStore(t *testing.T) {
+	// for i in 0..n: if i&1 { A[i] = i } — odd slots only.
+	b := graph.New("condstore")
+	n := b.Param("n")
+	base := b.Param("base")
+	i0 := b.Const(n, 0)
+	l := b.Loop(i0, b.Nop(base), b.Nop(n))
+	i, bs, nn := l.Var(0), l.Var(1), l.Var(2)
+	odd := b.AndI(i, 1)
+	addr := b.Add(bs, b.ShlI(i, 3))
+	b.CondStore(odd, addr, i)
+	i1 := b.AddI(i, 1)
+	out := l.End(b.ULT(i1, nn), i1, bs, nn)
+	b.Halt(out[0])
+	p := b.MustFinish()
+
+	res, mem := run(t, p, nil, map[string]uint64{"n": 6, "base": 0})
+	if res.ByOpcode[isa.OpStore] != 3 {
+		t.Errorf("stores fired %d times, want 3 (odd i only)", res.ByOpcode[isa.OpStore])
+	}
+	// 3 untaken cond arms + the materialized wave-0 and post-loop chain
+	// MemNops (every dynamic wave needs a chain).
+	if res.ByOpcode[isa.OpMemNop] != 5 {
+		t.Errorf("memnops fired %d times, want 5 (3 even i + 2 wave chains)", res.ByOpcode[isa.OpMemNop])
+	}
+	for i := uint64(0); i < 6; i++ {
+		want := uint64(0)
+		if i%2 == 1 {
+			want = i
+		}
+		if mem[i*8] != want {
+			t.Errorf("A[%d] = %d, want %d", i, mem[i*8], want)
+		}
+	}
+}
+
+func TestCondStoreBetweenOps(t *testing.T) {
+	// Chain: load, condstore, store — exercises wildcard wiring mid-chain.
+	b := graph.New("condmid")
+	base := b.Param("base")
+	n := b.Param("n")
+	i0 := b.Const(n, 0)
+	l := b.Loop(i0, b.Nop(base), b.Nop(n))
+	i, bs, nn := l.Var(0), l.Var(1), l.Var(2)
+	addr := b.Add(bs, b.ShlI(i, 3))
+	v := b.Load(addr)
+	big := b.LTI(v, 100) // v < 100
+	b.CondStore(big, addr, b.AddI(v, 1))
+	b.Store(b.AddI(addr, 512), v)
+	i1 := b.AddI(i, 1)
+	out := l.End(b.ULT(i1, nn), i1, bs, nn)
+	b.Halt(out[0])
+	p := b.MustFinish()
+
+	mem := ref.Memory{0: 5, 8: 200}
+	_, m := run(t, p, mem, map[string]uint64{"n": 2, "base": 0})
+	if m[0] != 6 {
+		t.Errorf("A[0] = %d, want 6 (5 < 100, incremented)", m[0])
+	}
+	if m[8] != 200 {
+		t.Errorf("A[1] = %d, want 200 (unchanged)", m[8])
+	}
+	if m[512] != 5 || m[520] != 200 {
+		t.Errorf("copies = %d,%d, want 5,200", m[512], m[520])
+	}
+}
+
+func TestConsecutiveCondStores(t *testing.T) {
+	// Two CondStores in a row force the builder to insert a separating
+	// MemNop; the chain must still complete every iteration.
+	b := graph.New("twocond")
+	n := b.Param("n")
+	i0 := b.Const(n, 0)
+	l := b.Loop(i0, b.Nop(n))
+	i, nn := l.Var(0), l.Var(1)
+	odd := b.AndI(i, 1)
+	even := b.EQ(odd, b.Const(i, 0))
+	b.CondStore(odd, b.ShlI(i, 3), i)
+	b.CondStore(even, b.AddI(b.ShlI(i, 3), 256), i)
+	i1 := b.AddI(i, 1)
+	out := l.End(b.ULT(i1, nn), i1, nn)
+	b.Halt(out[0])
+	p := b.MustFinish()
+
+	_, mem := run(t, p, nil, map[string]uint64{"n": 4})
+	if mem[1*8] != 1 || mem[3*8] != 3 {
+		t.Errorf("odd stores missing: %v", mem)
+	}
+	if mem[256+0*8] != 0 || mem[256+2*8] != 2 {
+		t.Errorf("even stores missing: %v", mem)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// sum_{i<3} sum_{j<4} (i*4+j) = sum 0..11 = 66
+	b := graph.New("nested")
+	n := b.Param("n") // outer bound = 3
+	i0 := b.Const(n, 0)
+	t0 := b.Const(n, 0)
+	l := b.Loop(i0, t0, b.Nop(n))
+	i, tot, nn := l.Var(0), l.Var(1), l.Var(2)
+
+	j0 := b.Const(i, 0)
+	inner := b.Loop(j0, b.Nop(tot), b.Nop(i), b.Nop(nn))
+	j, t2, i2, nn2 := inner.Var(0), inner.Var(1), inner.Var(2), inner.Var(3)
+	t3 := b.Add(t2, b.Add(b.MulI(i2, 4), j))
+	j1 := b.AddI(j, 1)
+	iout := inner.End(b.LTI(j1, 4), j1, t3, i2, nn2)
+
+	i1 := b.AddI(iout[2], 1)
+	out := l.End(b.ULT(i1, iout[3]), i1, iout[1], iout[3])
+	b.Halt(out[1])
+	p := b.MustFinish()
+
+	res, _ := run(t, p, nil, map[string]uint64{"n": 3})
+	if res.HaltValue != 66 {
+		t.Errorf("nested sum = %d, want 66", res.HaltValue)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	b := graph.New("select")
+	s := b.Start()
+	a := b.Const(s, 7)
+	c := b.Const(s, 9)
+	pred := b.ULT(a, c) // true
+	b.Halt(b.Select(pred, a, c))
+	p := b.MustFinish()
+	res, _ := run(t, p, nil, nil)
+	if res.HaltValue != 7 {
+		t.Errorf("select = %d, want 7", res.HaltValue)
+	}
+}
+
+func TestSteerDiscardsUntakenSide(t *testing.T) {
+	b := graph.New("steer")
+	s := b.Start()
+	v := b.Const(s, 5)
+	pred := b.Const(s, 1)
+	tv, fv := b.Steer(pred, v)
+	// Only the true side is consumed; false side feeds an adder that must
+	// never fire (its other operand arrives, the steered one doesn't).
+	dead := b.Add(fv, b.Const(s, 1))
+	_ = dead
+	b.Halt(b.Nop(tv))
+	p := b.MustFinish()
+	// The dead add leaves a partial match, which is fine: halt fires first
+	// and the interpreter stops.
+	res, _ := run(t, p, nil, nil)
+	if res.HaltValue != 5 {
+		t.Errorf("steered value = %d, want 5", res.HaltValue)
+	}
+	if res.ByOpcode[isa.OpAdd] != 0 {
+		t.Error("untaken steer side must not fire consumers")
+	}
+}
+
+func TestEpochViolationPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on cross-epoch use")
+		}
+		if !strings.Contains(r.(string), "epoch") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	b := graph.New("bad")
+	s := b.Start()
+	i0 := b.Const(s, 0)
+	l := b.Loop(i0)
+	_ = l.Var(0)
+	b.Add(s, s) // s is epoch 0, we are now in epoch 1
+}
+
+func TestFinishErrors(t *testing.T) {
+	b := graph.New("nohalt")
+	s := b.Start()
+	b.Const(s, 1)
+	if _, err := b.Finish(); err == nil {
+		t.Error("Finish must reject a program with no Halt")
+	}
+
+	b2 := graph.New("openloop")
+	s2 := b2.Start()
+	l := b2.Loop(b2.Const(s2, 0))
+	_ = l
+	b2.Halt(b2.Const(l.Var(0), 1))
+	if _, err := b2.Finish(); err == nil {
+		t.Error("Finish must reject unclosed loops")
+	}
+}
+
+func TestMemAnnotationsWellFormed(t *testing.T) {
+	// Every memory op must end with a well-formed chain: exactly one op
+	// with Pred==SeqNone per wave region with ops, and a reachable end.
+	b := graph.New("chain")
+	n := b.Param("n")
+	i0 := b.Const(n, 0)
+	l := b.Loop(i0, b.Nop(n))
+	i, nn := l.Var(0), l.Var(1)
+	a1 := b.ShlI(i, 3)
+	v := b.Load(a1)
+	b.Store(b.AddI(a1, 128), v)
+	b.CondStore(b.AndI(i, 1), b.AddI(a1, 256), v)
+	i1 := b.AddI(i, 1)
+	out := l.End(b.ULT(i1, nn), i1, nn)
+	b.Halt(out[0])
+	p := b.MustFinish()
+
+	starts, ends := 0, 0
+	for _, in := range p.Insts {
+		if in.Mem == nil {
+			continue
+		}
+		if in.Mem.Pred == isa.SeqNone {
+			starts++
+		}
+		if in.Mem.Succ == isa.SeqNone {
+			ends++
+		}
+	}
+	// Three wave regions carry chains: wave 0 (materialized MemNop), the
+	// loop body, and the post-loop wave (materialized MemNop).
+	if starts != 3 {
+		t.Errorf("chain starts = %d, want 3 (one per wave region)", starts)
+	}
+	// The body chain ends in a conditional pair, so both arms carry
+	// Succ == SeqNone; the two materialized chains add one end each.
+	if ends != 4 {
+		t.Errorf("chain ends = %d, want 4", ends)
+	}
+}
+
+func TestLoopIterationWaveAdvancePipelining(t *testing.T) {
+	// Sanity: dynamic wave advances = vars * (iterations + 1 exits) + entry.
+	b := graph.New("waves")
+	n := b.Param("n")
+	i0 := b.Const(n, 0)
+	l := b.Loop(i0, b.Nop(n))
+	i, nn := l.Var(0), l.Var(1)
+	i1 := b.AddI(i, 1)
+	out := l.End(b.ULT(i1, nn), i1, nn)
+	b.Halt(out[0])
+	p := b.MustFinish()
+	res, _ := run(t, p, nil, map[string]uint64{"n": 5})
+	// 2 entry advances + per-iteration back edges 2*(n-1) + 2 exit advances.
+	want := uint64(2 + 2*4 + 2)
+	if res.ByOpcode[isa.OpWaveAdv] != want {
+		t.Errorf("wave advances = %d, want %d", res.ByOpcode[isa.OpWaveAdv], want)
+	}
+}

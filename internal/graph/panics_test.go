@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func assertPanics(t *testing.T, name, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s: expected panic", name)
+			return
+		}
+		msg := ""
+		switch v := r.(type) {
+		case string:
+			msg = v
+		case error:
+			msg = v.Error()
+		}
+		if want != "" && !strings.Contains(msg, want) {
+			t.Errorf("%s: panic %q does not mention %q", name, msg, want)
+		}
+	}()
+	f()
+}
+
+func TestLoopMisusePanics(t *testing.T) {
+	assertPanics(t, "empty loop", "no variables", func() {
+		b := New("x")
+		b.Loop()
+	})
+	assertPanics(t, "Var after End", "after End", func() {
+		b := New("x")
+		s := b.Start()
+		l := b.Loop(b.Const(s, 0))
+		v := l.Var(0)
+		l.End(b.LTI(v, 1), v)
+		l.Var(0)
+	})
+	assertPanics(t, "End twice", "twice", func() {
+		b := New("x")
+		s := b.Start()
+		l := b.Loop(b.Const(s, 0))
+		v := l.Var(0)
+		c := b.LTI(v, 1)
+		l.End(c, v)
+		l.End(c, v)
+	})
+	assertPanics(t, "wrong End arity", "variables", func() {
+		b := New("x")
+		s := b.Start()
+		l := b.Loop(b.Const(s, 0), b.Const(s, 1))
+		v := l.Var(0)
+		l.End(b.LTI(v, 1), v) // two vars, one next value
+	})
+}
+
+func TestZeroValuePanics(t *testing.T) {
+	assertPanics(t, "zero value input", "zero Value", func() {
+		b := New("x")
+		var v Value
+		b.Nop(v)
+	})
+}
+
+func TestCrossBuilderPanics(t *testing.T) {
+	assertPanics(t, "foreign value", "", func() {
+		b1 := New("a")
+		b2 := New("b")
+		v := b1.Start()
+		b2.Nop(v)
+	})
+}
+
+func TestHaltTwicePanics(t *testing.T) {
+	assertPanics(t, "double halt", "twice", func() {
+		b := New("x")
+		s := b.Start()
+		b.Halt(b.Const(s, 1))
+		b.Halt(b.Const(s, 2))
+	})
+}
+
+func TestNumInstsGrows(t *testing.T) {
+	b := New("x")
+	s := b.Start()
+	before := b.NumInsts()
+	b.Const(s, 1)
+	if b.NumInsts() != before+1 {
+		t.Errorf("NumInsts did not grow")
+	}
+}

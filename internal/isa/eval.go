@@ -1,0 +1,120 @@
+package isa
+
+import "math"
+
+// ExecLatency returns the EXECUTE-stage occupancy of the opcode in cycles.
+// The RTL's 20 FO4 cycle is set by the integer multiplier, so every integer
+// operation completes in a single cycle; floating point units are pipelined
+// (results appear after FPLatency cycles but a new operation can start each
+// cycle), matching Section 4.1.
+func ExecLatency(op Opcode) int {
+	if op.IsFloat() {
+		return FPLatency
+	}
+	return 1
+}
+
+// FPLatency is the pipelined floating-point unit depth in cycles.
+const FPLatency = 4
+
+// Eval computes the result of a non-memory, non-control opcode. a, b and c
+// are the values on ports 0, 1 and 2. Steer and memory operations are
+// handled by the pipeline, not here; Eval returns the forwarded value for
+// the dataflow-control opcodes that produce one (nop, select, wadv, const,
+// param via immediate binding).
+func Eval(op Opcode, imm uint64, a, b, c uint64) uint64 {
+	switch op {
+	case OpNop, OpWaveAdv, OpHalt:
+		return a
+	case OpConst, OpParam:
+		return imm
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case OpRem:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (b & 63)
+	case OpShr:
+		return a >> (b & 63)
+	case OpAddI:
+		return a + imm
+	case OpMulI:
+		return a * imm
+	case OpAndI:
+		return a & imm
+	case OpShlI:
+		return a << (imm & 63)
+	case OpShrI:
+		return a >> (imm & 63)
+	case OpEQ:
+		return b2u(a == b)
+	case OpNE:
+		return b2u(a != b)
+	case OpLT:
+		return b2u(int64(a) < int64(b))
+	case OpLE:
+		return b2u(int64(a) <= int64(b))
+	case OpULT:
+		return b2u(a < b)
+	case OpLTI:
+		return b2u(int64(a) < int64(imm))
+	case OpFAdd:
+		return f2u(u2f(a) + u2f(b))
+	case OpFSub:
+		return f2u(u2f(a) - u2f(b))
+	case OpFMul:
+		return f2u(u2f(a) * u2f(b))
+	case OpFDiv:
+		return f2u(u2f(a) / u2f(b))
+	case OpFLT:
+		return b2u(u2f(a) < u2f(b))
+	case OpI2F:
+		return f2u(float64(int64(a)))
+	case OpF2I:
+		return uint64(int64(u2f(a)))
+	case OpSelect:
+		if c != 0 {
+			return a
+		}
+		return b
+	case OpSteer:
+		return a
+	case OpLoad, OpStore, OpMemNop:
+		return a
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// F2U converts a float64 to its transport representation.
+func F2U(f float64) uint64 { return math.Float64bits(f) }
+
+// U2F converts a transported value back to float64.
+func U2F(u uint64) float64 { return math.Float64frombits(u) }
+
+func f2u(f float64) uint64 { return math.Float64bits(f) }
+func u2f(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,282 @@
+// Package noc implements WaveScalar's inter-cluster interconnect
+// (Section 3.4.3): a grid of 6-port switches using dimension-order routing
+// and two virtual channels to prevent deadlock (operand traffic on one,
+// memory/coherence traffic on the other, following Dally & Seitz).
+//
+// Each switch has four ports to its cardinal neighbours, one port shared by
+// the cluster's domains (the PE side), and one dedicated to the store
+// buffer and L1 data cache (the memory side). Every output port carries up
+// to Config.PortBW messages per cycle and buffers each virtual channel in
+// an 8-entry output queue.
+package noc
+
+import "fmt"
+
+// VC identifiers: operands ride VC 0, memory and coherence traffic VC 1.
+const (
+	VCOperand = 0
+	VCMemory  = 1
+	numVCs    = 2
+)
+
+// Config sizes the network.
+type Config struct {
+	PortBW   int // messages per port per cycle (2 in the paper)
+	QueueCap int // entries per VC output queue (8 in the paper)
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PortBW <= 0 || c.QueueCap <= 0 {
+		return fmt.Errorf("noc: PortBW and QueueCap must be positive: %+v", c)
+	}
+	return nil
+}
+
+// Message is one network flit-train (we model whole operands/requests as
+// single messages).
+type Message struct {
+	Src, Dst int  // cluster indices
+	ToMem    bool // deliver on the memory port (store buffer / L1 / directory)
+	VC       int
+	Payload  any
+	Injected uint64
+	Hops     int
+}
+
+// Sink receives delivered messages.
+type Sink func(cycle uint64, port OutPort, m *Message)
+
+// OutPort identifies a switch output.
+type OutPort int
+
+// Output port order (fixed, for determinism).
+const (
+	PortN OutPort = iota
+	PortE
+	PortS
+	PortW
+	PortPE  // to the cluster's domains
+	PortMem // to the store buffer / L1 / directory
+	numPorts
+)
+
+// Stats counts network events.
+type Stats struct {
+	Injected   uint64
+	Delivered  uint64
+	TotalHops  uint64
+	TotalLat   uint64 // sum of delivery latencies in cycles
+	InjectFull uint64 // failed injection attempts (source queue full)
+	Blocked    uint64 // hop attempts blocked by a full downstream queue
+}
+
+type queue struct {
+	msgs []*Message
+}
+
+type sw struct {
+	x, y int
+	out  [numPorts][numVCs]queue
+}
+
+// Grid is the whole inter-cluster network.
+type Grid struct {
+	w, h  int
+	cfg   Config
+	sws   []*sw
+	sink  Sink
+	stats Stats
+	// staging for the two-phase tick
+	arrivals []arrival
+}
+
+type arrival struct {
+	sw   int
+	port OutPort
+	vc   int
+	m    *Message
+}
+
+// New creates a w x h grid delivering messages to sink.
+func New(w, h int, cfg Config, sink Sink) *Grid {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("noc: bad grid %dx%d", w, h))
+	}
+	g := &Grid{w: w, h: h, cfg: cfg, sink: sink}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.sws = append(g.sws, &sw{x: x, y: y})
+		}
+	}
+	return g
+}
+
+// Dims returns the grid dimensions.
+func (g *Grid) Dims() (w, h int) { return g.w, g.h }
+
+// DimsFor returns the most-square power-of-two grid for n clusters:
+// 1x1, 2x1, 2x2, 4x2, 4x4, 8x4, 8x8 for n = 1, 2, 4, 8, 16, 32, 64.
+func DimsFor(n int) (w, h int) {
+	w = 1
+	for w*w < n {
+		w *= 2
+	}
+	h = (n + w - 1) / w
+	return w, h
+}
+
+// Stats returns the network counters.
+func (g *Grid) Stats() Stats { return g.stats }
+
+// Coord returns a cluster's grid coordinates.
+func (g *Grid) Coord(cluster int) (x, y int) { return cluster % g.w, cluster / g.w }
+
+// Distance returns the hop distance between two clusters.
+func (g *Grid) Distance(a, b int) int {
+	ax, ay := g.Coord(a)
+	bx, by := g.Coord(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// route picks the output port at switch s for a message to dst.
+func (g *Grid) route(s *sw, m *Message) OutPort {
+	dx, dy := g.Coord(m.Dst)
+	switch {
+	case dx > s.x:
+		return PortE
+	case dx < s.x:
+		return PortW
+	case dy > s.y:
+		return PortS
+	case dy < s.y:
+		return PortN
+	case m.ToMem:
+		return PortMem
+	default:
+		return PortPE
+	}
+}
+
+// Send injects a message at its source cluster's switch. It returns false
+// if the first-hop queue is full; the caller retries later.
+func (g *Grid) Send(cycle uint64, m *Message) bool {
+	if m.VC < 0 || m.VC >= numVCs {
+		panic(fmt.Sprintf("noc: bad VC %d", m.VC))
+	}
+	s := g.sws[m.Src]
+	port := g.route(s, m)
+	q := &s.out[port][m.VC]
+	if len(q.msgs) >= g.cfg.QueueCap {
+		g.stats.InjectFull++
+		return false
+	}
+	m.Injected = cycle
+	q.msgs = append(q.msgs, m)
+	g.stats.Injected++
+	return true
+}
+
+// Tick advances the network one cycle: each output port forwards up to
+// PortBW messages one hop (to the next switch's output queue, or to the
+// sink on arrival). Two-phase so a message moves at most one hop per cycle.
+func (g *Grid) Tick(cycle uint64) {
+	g.arrivals = g.arrivals[:0]
+	// Staged occupancy per destination queue this cycle.
+	type qref struct {
+		sw   int
+		port OutPort
+		vc   int
+	}
+	staged := make(map[qref]int)
+
+	for si, s := range g.sws {
+		for port := OutPort(0); port < numPorts; port++ {
+			budget := g.cfg.PortBW
+			// Round-robin the VCs starting from the cycle parity for
+			// fairness while staying deterministic.
+			for i := 0; i < numVCs && budget > 0; i++ {
+				vc := (int(cycle) + i) % numVCs
+				q := &s.out[port][vc]
+				for budget > 0 && len(q.msgs) > 0 {
+					m := q.msgs[0]
+					if port == PortPE || port == PortMem {
+						// Arrived: deliver to the cluster.
+						g.deliver(cycle, port, m)
+						q.msgs = q.msgs[1:]
+						budget--
+						continue
+					}
+					// Forward one hop.
+					ni := g.neighbor(si, port)
+					ns := g.sws[ni]
+					nport := g.route(ns, m)
+					ref := qref{sw: ni, port: nport, vc: vc}
+					if len(ns.out[nport][vc].msgs)+staged[ref] >= g.cfg.QueueCap {
+						g.stats.Blocked++
+						break // head-of-line blocked on this VC
+					}
+					staged[ref]++
+					m.Hops++
+					g.arrivals = append(g.arrivals, arrival{sw: ni, port: nport, vc: vc, m: m})
+					q.msgs = q.msgs[1:]
+					budget--
+				}
+			}
+		}
+	}
+	for _, a := range g.arrivals {
+		q := &g.sws[a.sw].out[a.port][a.vc]
+		q.msgs = append(q.msgs, a.m)
+	}
+}
+
+func (g *Grid) deliver(cycle uint64, port OutPort, m *Message) {
+	g.stats.Delivered++
+	g.stats.TotalHops += uint64(m.Hops)
+	g.stats.TotalLat += cycle - m.Injected + 1
+	g.sink(cycle, port, m)
+}
+
+// neighbor returns the switch index in the given direction.
+func (g *Grid) neighbor(si int, port OutPort) int {
+	x, y := g.sws[si].x, g.sws[si].y
+	switch port {
+	case PortN:
+		y--
+	case PortS:
+		y++
+	case PortE:
+		x++
+	case PortW:
+		x--
+	}
+	if x < 0 || x >= g.w || y < 0 || y >= g.h {
+		panic(fmt.Sprintf("noc: route off grid from switch %d via %d", si, port))
+	}
+	return y*g.w + x
+}
+
+// Pending returns the number of messages currently buffered in the network
+// (diagnostic; nonzero means traffic is still in flight).
+func (g *Grid) Pending() int {
+	n := 0
+	for _, s := range g.sws {
+		for p := OutPort(0); p < numPorts; p++ {
+			for vc := 0; vc < numVCs; vc++ {
+				n += len(s.out[p][vc].msgs)
+			}
+		}
+	}
+	return n
+}

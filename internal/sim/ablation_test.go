@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"wavescalar/internal/graph"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/place"
+)
+
+// pipelinedLoop builds a loop whose body is long relative to its control,
+// so multiple iterations can be in flight — the situation k-loop bounding
+// governs.
+func pipelinedLoop(depth int) *isa.Program {
+	b := graph.New("pipe")
+	n := b.Param("n")
+	i0 := b.Const(n, 0)
+	acc0 := b.Const(n, 0)
+	l := b.Loop(i0, acc0, b.Nop(n))
+	i, acc, nn := l.Var(0), l.Var(1), l.Var(2)
+	v := i
+	for d := 0; d < depth; d++ {
+		v = b.MulI(b.AddI(v, 1), 3)
+	}
+	acc1 := b.Add(acc, v)
+	i1 := b.AddI(i, 1)
+	out := l.End(b.ULT(i1, nn), i1, acc1, nn)
+	b.Halt(out[1])
+	return b.MustFinish()
+}
+
+func runK(t *testing.T, p *isa.Program, k int) *Stats {
+	t.Helper()
+	cfg := Baseline(BaselineArch())
+	cfg.K = k
+	cfg.StallLimit = 200_000
+	proc, err := New(cfg, p, []map[string]uint64{{"n": 60}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := proc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestKLoopBoundingThrottles verifies the paper's k mechanism: k bounds
+// how many dynamic instances of one instruction may accumulate, so k=1
+// rejects (parks) far more tokens than k=8, while both run to the same
+// functional result and within similar time (the bound must not wedge or
+// cripple the pipeline thanks to oldest-wave priority).
+func TestKLoopBoundingThrottles(t *testing.T) {
+	p := pipelinedLoop(24)
+	k1 := runK(t, p, 1)
+	k8 := runK(t, p, 8)
+	if k1.Match.KRejects == 0 {
+		t.Error("k=1 should reject tokens (that is the throttle)")
+	}
+	if k8.Match.KRejects >= k1.Match.KRejects {
+		t.Errorf("k=8 rejects (%d) should be below k=1 (%d)",
+			k8.Match.KRejects, k1.Match.KRejects)
+	}
+	if k1.Countable != k8.Countable {
+		t.Errorf("countable differs across k: %d vs %d", k1.Countable, k8.Countable)
+	}
+	// Neither should be more than 2x the other: the bound throttles
+	// without wedging.
+	if k1.Cycles > 2*k8.Cycles || k8.Cycles > 2*k1.Cycles {
+		t.Errorf("k=1 %d vs k=8 %d cycles: unexpectedly far apart", k1.Cycles, k8.Cycles)
+	}
+}
+
+// TestStoreDecouplingEngages builds a store whose address is ready long
+// before its data (a deep FP chain) and checks the partial store queues
+// actually capture the separation.
+func TestStoreDecouplingEngages(t *testing.T) {
+	b := graph.New("decouple")
+	n := b.Param("n")
+	i0 := b.Const(n, 0)
+	l := b.Loop(i0, b.Nop(n))
+	i, nn := l.Var(0), l.Var(1)
+	addr := b.AddI(b.ShlI(i, 3), 0x1000) // ready immediately
+	// Data: a deep floating-point chain (4 cycles per op).
+	v := b.I2F(i)
+	for d := 0; d < 12; d++ {
+		v = b.FAdd(b.FMul(v, b.ConstF(i, 1.0001)), b.ConstF(i, 0.5))
+	}
+	b.Store(addr, v)
+	// A trailing load to a different address that the ripple can only
+	// pass via a partial store queue.
+	sum := b.Load(b.AddI(b.ShlI(i, 3), 0x8000))
+	_ = sum
+	i1 := b.AddI(i, 1)
+	out := l.End(b.ULT(i1, nn), i1, nn)
+	b.Halt(out[0])
+	p := b.MustFinish()
+
+	cfg := Baseline(BaselineArch())
+	cfg.StallLimit = 200_000
+	proc, err := New(cfg, p, []map[string]uint64{{"n": 40}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := proc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoreBuf.PSQAllocs == 0 {
+		t.Error("expected dataless stores to allocate partial store queues")
+	}
+
+	// Without PSQs the ripple stalls waiting for store data; with them it
+	// runs ahead. (Whether that converts to end-to-end cycles depends on
+	// where the bottleneck sits; the mechanism itself must engage.)
+	cfg2 := cfg
+	cfg2.PSQs = 0
+	proc2, err := New(cfg2, p, []map[string]uint64{{"n": 40}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := proc2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.StoreBuf.PSQStalls <= st.StoreBuf.PSQStalls {
+		t.Errorf("no-PSQ stalls (%d) should exceed PSQ stalls (%d)",
+			st2.StoreBuf.PSQStalls, st.StoreBuf.PSQStalls)
+	}
+	if st2.Cycles < st.Cycles {
+		t.Errorf("no-PSQ run (%d cycles) should not beat the PSQ run (%d)",
+			st2.Cycles, st.Cycles)
+	}
+	// Functional equivalence regardless.
+	for a := uint64(0); a < 40; a++ {
+		if proc.Mem()[0x1000+a*8] != proc2.Mem()[0x1000+a*8] {
+			t.Fatalf("PSQ ablation changed results at slot %d", a)
+		}
+	}
+}
+
+func TestMaxCyclesError(t *testing.T) {
+	cfg := Baseline(BaselineArch())
+	cfg.MaxCycles = 50 // absurdly small
+	p := pipelinedLoop(8)
+	proc, err := New(cfg, p, []map[string]uint64{{"n": 1000}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = proc.Run()
+	if err == nil || !strings.Contains(err.Error(), "MaxCycles") {
+		t.Fatalf("expected MaxCycles error, got %v", err)
+	}
+}
+
+// TestMatchingAssociativityHelps checks the 2-way table reduces evictions
+// versus direct-mapped on a matching-pressure kernel.
+func TestMatchingAssociativityHelps(t *testing.T) {
+	p := pipelinedLoop(24)
+	run := func(assoc int) *Stats {
+		cfg := Baseline(BaselineArch())
+		cfg.Arch.Domains = 1
+		cfg.Arch.PEs = 2
+		cfg.Arch.Match = 16
+		cfg.MatchAssoc = assoc
+		cfg.StallLimit = 200_000
+		proc, err := New(cfg, p, []map[string]uint64{{"n": 60}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := proc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	direct := run(1)
+	twoWay := run(2)
+	if twoWay.Match.Evictions > direct.Match.Evictions {
+		t.Errorf("2-way evictions (%d) should not exceed direct-mapped (%d)",
+			twoWay.Match.Evictions, direct.Match.Evictions)
+	}
+}
+
+// TestInterClusterLatency verifies the Table 1 latency hierarchy end to
+// end: a chain split across two clusters is slower than within one domain.
+func TestInterClusterLatency(t *testing.T) {
+	// Two threads of a tiny kernel: on a 2-cluster machine each runs in
+	// its own cluster; the run should not be slower than on 1 cluster
+	// (locality), while a single thread shows identical times on both
+	// (it never leaves cluster 0).
+	p := pipelinedLoop(8)
+	run := func(clusters, threads int) uint64 {
+		arch := BaselineArch()
+		arch.Clusters = clusters
+		cfg := Baseline(arch)
+		params := make([]map[string]uint64, threads)
+		for i := range params {
+			params[i] = map[string]uint64{"n": 40}
+		}
+		proc, err := New(cfg, p, params, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := proc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	if a, b := run(1, 1), run(2, 1); a != b {
+		t.Errorf("a single thread should not notice a second cluster: %d vs %d", a, b)
+	}
+	if one, two := run(1, 2), run(2, 2); two > one {
+		t.Errorf("two threads on two clusters (%d) should not be slower than sharing one (%d)",
+			two, one)
+	}
+}
+
+// TestPlacementLocalityMatters compares WaveScalar's chunked depth-first
+// placement against a round-robin scatter: the locality-aware placement
+// must keep a far larger share of traffic at the PE/pod level and win on
+// cycles — the premise of the paper's hierarchical interconnect.
+func TestPlacementLocalityMatters(t *testing.T) {
+	p := pipelinedLoop(24)
+	run := func(policy place.Policy) *Stats {
+		cfg := Baseline(BaselineArch())
+		cfg.Placement = policy
+		cfg.StallLimit = 200_000
+		proc, err := New(cfg, p, []map[string]uint64{{"n": 60}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := proc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	local := run(place.PolicyChunkedDFS)
+	scatter := run(place.PolicyScatter)
+	if local.Countable != scatter.Countable {
+		t.Fatalf("policies changed the computation")
+	}
+	lShare := local.TrafficShare(LevelPod)
+	sShare := scatter.TrafficShare(LevelPod)
+	if sShare >= lShare {
+		t.Errorf("scatter pod-share %.2f should be below chunked %.2f", sShare, lShare)
+	}
+	if scatter.AvgOperandLatency() <= local.AvgOperandLatency() {
+		t.Errorf("scatter operand latency (%.2f) should exceed chunked (%.2f)",
+			scatter.AvgOperandLatency(), local.AvgOperandLatency())
+	}
+}

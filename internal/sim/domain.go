@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"wavescalar/internal/isa"
+	"wavescalar/internal/noc"
+	"wavescalar/internal/place"
+	"wavescalar/internal/storebuf"
+)
+
+// netMsg is an operand travelling through the NET pseudo-PEs. sentAt is
+// the producing execution's completion cycle (zero for memory responses,
+// which are tracked separately).
+type netMsg struct {
+	readyAt uint64
+	sentAt  uint64
+	tok     isa.Token
+	dst     place.PEAddr
+}
+
+// memQEntry is a memory request travelling through the MEM pseudo-PE.
+type memQEntry struct {
+	readyAt uint64
+	req     *storebuf.Request
+}
+
+// domainUnit is a domain's shared infrastructure: the MEM and NET
+// pseudo-PEs that gateway to the memory system and to other
+// domains/clusters (Section 3.4.1). The broadcast buses themselves are
+// modeled by direct, latency-stamped delivery from producer PEs.
+type domainUnit struct {
+	p       *Processor
+	cluster int
+	index   int
+
+	netOutQ fifo[netMsg]    // PE results leaving the domain
+	netInQ  fifo[netMsg]    // operands entering the domain
+	memQ    fifo[memQEntry] // memory requests toward the store buffer
+}
+
+// operandPayload is an operand crossing the inter-cluster network.
+type operandPayload struct {
+	tok    isa.Token
+	dst    place.PEAddr
+	sentAt uint64
+}
+
+// tick services the pseudo-PE queues: each moves one operand per cycle per
+// direction (the paper's NET pseudo-PEs introduce a single operand per
+// cycle into their domain).
+func (d *domainUnit) tick(c uint64) {
+	p := d.p
+	// NET outbound: to a sibling domain or onto the grid.
+	for n := 0; n < p.cfg.NetPEBW && !d.netOutQ.empty(); n++ {
+		m := d.netOutQ.peek(0)
+		if m.readyAt > c {
+			break
+		}
+		if m.dst.Cluster == d.cluster {
+			target := p.domain(d.cluster, m.dst.Domain)
+			msg := d.netOutQ.popFront()
+			msg.readyAt = c + 2 // crossbar link + via
+			target.netInQ.push(msg)
+			continue
+		}
+		ok := p.grid.Send(c, &noc.Message{
+			Src: d.cluster, Dst: m.dst.Cluster, VC: noc.VCOperand,
+			Payload: operandPayload{tok: m.tok, dst: m.dst, sentAt: m.sentAt},
+		})
+		if !ok {
+			break // grid injection backpressure; retry next cycle
+		}
+		d.netOutQ.popFront()
+	}
+	// NET inbound: into the domain's PEs.
+	for n := 0; n < p.cfg.NetPEBW && !d.netInQ.empty(); n++ {
+		m := d.netInQ.peek(0)
+		if m.readyAt > c {
+			break
+		}
+		msg := d.netInQ.popFront()
+		p.pe(msg.dst).enqueueIn(inMsg{readyAt: c + 2, sentAt: msg.sentAt, tok: msg.tok})
+	}
+	// MEM: one request per cycle toward the owning store buffer.
+	if !d.memQ.empty() && d.memQ.peek(0).readyAt <= c {
+		m := d.memQ.peek(0)
+		home := p.placement.Home(m.req.Tag.Thread)
+		if home == d.cluster {
+			e := d.memQ.popFront()
+			p.sbs[d.cluster].Enqueue(c+1, *e.req)
+		} else {
+			ok := p.grid.Send(c, &noc.Message{
+				Src: d.cluster, Dst: home, ToMem: true, VC: noc.VCMemory,
+				Payload: m.req,
+			})
+			if ok {
+				d.memQ.popFront()
+			}
+		}
+	}
+}
+
+// busy reports whether the domain has queued work.
+func (d *domainUnit) busy() bool {
+	return !d.netOutQ.empty() || !d.netInQ.empty() || !d.memQ.empty()
+}

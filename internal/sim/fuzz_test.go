@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"wavescalar/internal/graph"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/ref"
+)
+
+// randomProgram builds a random (but well-formed) dataflow loop kernel:
+// a pool of values grows by random arithmetic over existing values, with
+// random loads and stores over a small memory region, random selects, and
+// a couple of accumulators carried across iterations.
+func randomProgram(rng *rand.Rand) *isa.Program {
+	b := graph.New("fuzz")
+	n := b.Param("n")
+	i0 := b.Const(n, 0)
+	acc0 := b.Const(n, uint64(rng.Intn(100)))
+	l := b.Loop(i0, acc0, b.Nop(n))
+	i, acc, nn := l.Var(0), l.Var(1), l.Var(2)
+
+	pool := []graph.Value{i, acc, b.AndI(i, 15), b.AddI(i, 3)}
+	pick := func() graph.Value { return pool[rng.Intn(len(pool))] }
+	addrOf := func(v graph.Value) graph.Value {
+		return b.AddI(b.ShlI(b.AndI(v, 31), 3), 0x1000)
+	}
+
+	ops := 4 + rng.Intn(12)
+	for k := 0; k < ops; k++ {
+		switch rng.Intn(8) {
+		case 0:
+			pool = append(pool, b.Add(pick(), pick()))
+		case 1:
+			pool = append(pool, b.Sub(pick(), pick()))
+		case 2:
+			pool = append(pool, b.Mul(pick(), b.AndI(pick(), 7)))
+		case 3:
+			pool = append(pool, b.Xor(pick(), pick()))
+		case 4:
+			pred := b.ULT(pick(), pick())
+			pool = append(pool, b.Select(pred, pick(), pick()))
+		case 5:
+			pool = append(pool, b.Load(addrOf(pick())))
+		case 6:
+			b.Store(addrOf(pick()), pick())
+		case 7:
+			pred := b.AndI(pick(), 1)
+			b.CondStore(pred, addrOf(pick()), pick())
+		}
+	}
+	accN := b.Add(acc, b.AndI(pool[len(pool)-1], 0xFFFF))
+	i1 := b.AddI(i, 1)
+	out := l.End(b.ULT(i1, nn), i1, accN, nn)
+	b.Halt(out[1])
+	return b.MustFinish()
+}
+
+// TestFuzzSimMatchesReference runs randomly generated kernels on both
+// engines and requires identical halt values, memory images, and countable
+// instruction counts — across several machine shapes.
+func TestFuzzSimMatchesReference(t *testing.T) {
+	shapes := []func() Config{
+		func() Config { return Baseline(BaselineArch()) },
+		func() Config {
+			cfg := Baseline(BaselineArch())
+			cfg.Arch.Domains = 1
+			cfg.Arch.PEs = 2
+			cfg.Arch.Virt = 16
+			cfg.Arch.Match = 16
+			cfg.K = 2
+			return cfg
+		},
+		func() Config {
+			cfg := Baseline(BaselineArch())
+			cfg.Arch.Clusters = 4
+			cfg.Arch.L2MB = 0
+			cfg.PSQs = 0
+			return cfg
+		},
+	}
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		p := randomProgram(rng)
+		params := map[string]uint64{"n": uint64(5 + rng.Intn(20))}
+
+		refMem := ref.Memory{}
+		for a := uint64(0); a < 32; a++ {
+			refMem[0x1000+a*8] = a * 3
+		}
+		res, err := ref.New(p, refMem).Run(0, params)
+		if err != nil {
+			t.Fatalf("trial %d: ref failed: %v\n(program has %d insts)", trial, err, p.NumStatic())
+		}
+
+		cfg := shapes[trial%len(shapes)]()
+		cfg.StallLimit = 200_000
+		simMem := Memory{}
+		for a := uint64(0); a < 32; a++ {
+			simMem[0x1000+a*8] = a * 3
+		}
+		proc, err := New(cfg, p, []map[string]uint64{params}, simMem)
+		if err != nil {
+			t.Fatalf("trial %d: New: %v", trial, err)
+		}
+		st, err := proc.Run()
+		if err != nil {
+			t.Fatalf("trial %d: sim failed: %v", trial, err)
+		}
+		if got, want := proc.HaltValue(0), res.HaltValue; got != want {
+			t.Errorf("trial %d: halt sim=%d ref=%d", trial, got, want)
+		}
+		if st.Countable != res.Countable {
+			t.Errorf("trial %d: countable sim=%d ref=%d", trial, st.Countable, res.Countable)
+		}
+		for a, v := range ref.Memory(refMem) {
+			if proc.Mem()[a] != v {
+				t.Errorf("trial %d: mem[%#x] sim=%d ref=%d", trial, a, proc.Mem()[a], v)
+			}
+		}
+	}
+}

@@ -1,0 +1,467 @@
+package sim
+
+import (
+	"wavescalar/internal/isa"
+	"wavescalar/internal/istore"
+	"wavescalar/internal/match"
+	"wavescalar/internal/place"
+	"wavescalar/internal/storebuf"
+)
+
+// inMsg is a token in flight toward a PE's INPUT stage. sentAt is the
+// producer's execution-completion cycle, so INPUT can record end-to-end
+// operand delivery latency (Section 4.3's message-latency metric).
+type inMsg struct {
+	readyAt uint64
+	sentAt  uint64
+	tok     isa.Token
+}
+
+// schedKind distinguishes ordinary fires from the two halves of a
+// decoupled store.
+type schedKind uint8
+
+const (
+	schedFire      schedKind = iota // all operands present
+	schedStoreAddr                  // store address half (entry stays live)
+)
+
+// schedEntry is a ready instruction instance in the scheduling queue.
+type schedEntry struct {
+	readyAt  uint64
+	inst     isa.InstID
+	tag      isa.Tag
+	vals     [3]uint64
+	kind     schedKind
+	fast     bool // arrived via the pod bypass (speculative fire path)
+	addrSent bool
+}
+
+// execResult is a completed execution waiting to route its result. dests
+// are pre-resolved (steer picks its side at dispatch).
+type execResult struct {
+	doneAt uint64
+	inst   isa.InstID
+	tag    isa.Tag // output tag (wave already advanced for wadv)
+	value  uint64
+	dests  []isa.Target
+	memReq *storebuf.Request
+}
+
+// outEntry is a result in the PE's output queue.
+type outEntry struct {
+	readyAt uint64
+	sentAt  uint64
+	inst    isa.InstID
+	tag     isa.Tag
+	value   uint64
+	dests   []isa.Target
+	memReq  *storebuf.Request
+}
+
+// peUnit is one processing element's pipeline state.
+type peUnit struct {
+	p    *Processor
+	addr place.PEAddr
+	mt   *match.Table
+	ist  *istore.Store
+
+	inQ     fifo[inMsg]
+	schedQ  fifo[schedEntry]
+	pending fifo[execResult] // completion queue (FIFO; latencies are FIFO-ordered per PE)
+	outQ    fifo[outEntry]
+
+	stallUntil uint64 // instruction-store miss fetch in progress
+
+	// parked holds k-rejected tokens per (instruction, thread): in
+	// hardware the senders keep retrying, but nothing can change until
+	// the matching table releases an entry of the same instruction, so
+	// the model parks them and reinjects on the table's release callback.
+	parked      map[parkKey][]isa.Token
+	parkedCount int
+	reinject    []isa.Token
+}
+
+type parkKey struct {
+	inst   isa.InstID
+	thread uint32
+}
+
+// enqueueIn delivers a token to the PE's input queue.
+func (pe *peUnit) enqueueIn(m inMsg) {
+	pe.inQ.push(m)
+}
+
+// park shelves a k-rejected token until the quota can have opened.
+func (pe *peUnit) park(tok isa.Token) {
+	k := parkKey{inst: tok.Dest.Inst, thread: tok.Tag.Thread}
+	pe.parked[k] = append(pe.parked[k], tok)
+	pe.parkedCount++
+}
+
+// onRelease is the matching table's release callback: any tokens parked on
+// the freed instruction re-enter the input queue.
+func (pe *peUnit) onRelease(inst isa.InstID, thread uint32) {
+	if pe.parkedCount == 0 {
+		return
+	}
+	k := parkKey{inst: inst, thread: thread}
+	toks := pe.parked[k]
+	if len(toks) == 0 {
+		return
+	}
+	delete(pe.parked, k)
+	pe.parkedCount -= len(toks)
+	pe.reinject = append(pe.reinject, toks...)
+}
+
+func newPE(p *Processor, addr place.PEAddr) *peUnit {
+	pe := &peUnit{
+		p:    p,
+		addr: addr,
+		mt: match.New(match.Config{
+			Entries: p.cfg.Arch.Match,
+			Assoc:   p.cfg.MatchAssoc,
+			Banks:   p.cfg.MatchBanks,
+			K:       p.cfg.K,
+		}),
+		ist:    istore.New(p.cfg.Arch.Virt),
+		parked: make(map[parkKey][]isa.Token),
+	}
+	pe.mt.OnRelease = pe.onRelease
+	return pe
+}
+
+// busy reports whether the PE has any work in flight (idle PEs are skipped).
+// Parked tokens do not make a PE busy on their own: they only move when the
+// matching table frees an entry, which requires other activity first.
+func (pe *peUnit) busy() bool {
+	return !pe.inQ.empty() || !pe.schedQ.empty() || !pe.pending.empty() ||
+		!pe.outQ.empty() || len(pe.reinject) > 0
+}
+
+// idleParked reports tokens parked with no way to ever reinject (used by
+// the drain/deadlock diagnostics).
+func (pe *peUnit) idleParked() int { return pe.parkedCount }
+
+// phaseComplete routes results whose execution finishes at cycle c:
+// pod-local destinations go over the bypass network immediately; everything
+// else enters the output queue.
+func (pe *peUnit) phaseComplete(c uint64) {
+	for !pe.pending.empty() {
+		r := pe.pending.peek(0)
+		if r.doneAt > c {
+			break
+		}
+		if pe.outQ.len() >= pe.p.cfg.OutQCap {
+			// Output queue full: execution backs up.
+			pe.p.stats.OutQStalls++
+			break
+		}
+		res := pe.pending.popFront()
+		pe.deliver(c, res)
+	}
+}
+
+// deliver fans a completed result out: pod-local consumers receive it over
+// the bypass network now; remote destinations and memory requests go
+// through the output queue.
+func (pe *peUnit) deliver(c uint64, r execResult) {
+	if r.memReq != nil {
+		pe.outQ.push(outEntry{readyAt: c + 1, sentAt: c, inst: r.inst, tag: r.tag, memReq: r.memReq})
+		return
+	}
+	var remote []isa.Target
+	for _, d := range r.dests {
+		dst := pe.p.loc(r.tag.Thread, d.Inst)
+		if dst == pe.addr || (pe.p.cfg.PodSize == 2 && dst.SamePod(pe.addr)) {
+			lvl := LevelPod
+			if dst == pe.addr {
+				lvl = LevelSelf
+			}
+			pe.p.stats.Traffic[lvl][ClassOperand]++
+			pe.p.stats.OperandLatTotal++ // bypass delivers in one cycle
+			pe.p.stats.OperandCount++
+			// Bypass: available for dispatch this very cycle at the
+			// destination (the speculative-fire path).
+			tok := isa.Token{Tag: r.tag, Value: r.value, Dest: d}
+			pe.p.pe(dst).acceptBypass(c, tok)
+			continue
+		}
+		remote = append(remote, d)
+	}
+	if len(remote) > 0 {
+		pe.outQ.push(outEntry{
+			readyAt: c + 1, sentAt: c, inst: r.inst, tag: r.tag, value: r.value, dests: remote,
+		})
+	}
+}
+
+// acceptBypass inserts a bypassed token directly into the matching table;
+// if it completes the instance, the entry is scheduled for this cycle
+// (back-to-back execution) at the front of the queue.
+func (pe *peUnit) acceptBypass(c uint64, tok isa.Token) {
+	li := pe.ist.LocalIndex(pe.p.istKey(tok.Tag.Thread, tok.Dest.Inst))
+	req := pe.p.required[tok.Dest.Inst]
+	out, e := pe.mt.Insert(tok, li, req, c, uint64(pe.p.cfg.OverflowPenalty))
+	switch out {
+	case match.Rejected:
+		pe.park(tok)
+	case match.RejectedBank:
+		// Bank pressure: fall back to the ordinary input path.
+		pe.enqueueIn(inMsg{readyAt: c + 1, tok: tok})
+	case match.Completed:
+		ready := c
+		if !pe.p.cfg.SpecFire {
+			ready = c + 2 // no speculative scheduling: normal MATCH path
+		}
+		pe.schedQ.pushFront(schedEntry{
+			readyAt: ready, inst: e.Inst, tag: e.Tag, vals: e.Vals,
+			fast: pe.p.cfg.SpecFire, addrSent: e.AddrSent,
+		})
+	case match.Stored:
+		pe.maybeStoreAddrHalf(c, tok, e)
+	}
+}
+
+// maybeStoreAddrHalf schedules the address half of a decoupled store when
+// the address operand arrives first.
+func (pe *peUnit) maybeStoreAddrHalf(c uint64, tok isa.Token, e *match.Entry) {
+	in := pe.p.prog.Inst(tok.Dest.Inst)
+	if in.Op != isa.OpStore || e == nil || e.AddrSent || e.Present != 0b001 {
+		return
+	}
+	pe.schedQ.push(schedEntry{
+		readyAt: e.ReadyAt + 1, inst: e.Inst, tag: e.Tag, vals: e.Vals,
+		kind: schedStoreAddr,
+	})
+}
+
+// phaseDispatch issues at most one instruction instance per cycle.
+func (pe *peUnit) phaseDispatch(c uint64) {
+	if pe.stallUntil > c {
+		return
+	}
+	if !pe.pending.empty() && pe.outQ.len() >= pe.p.cfg.OutQCap {
+		return // execution is blocked; don't pile more on
+	}
+	const window = 8
+	n := pe.schedQ.len()
+	if n > window {
+		n = window
+	}
+	for i := 0; i < n; i++ {
+		se := pe.schedQ.peek(i)
+		if se.readyAt > c {
+			continue
+		}
+		entry := pe.schedQ.remove(i)
+		pe.dispatch(c, entry)
+		return
+	}
+}
+
+// dispatch executes one scheduling-queue entry.
+func (pe *peUnit) dispatch(c uint64, se schedEntry) {
+	if se.kind == schedStoreAddr {
+		// The entry may have completed (and fully dispatched) already.
+		e := pe.mt.Lookup(se.inst, pe.ist.LocalIndex(pe.p.istKey(se.tag.Thread, se.inst)), se.tag)
+		if e == nil || e.AddrSent || e.Present != 0b001 {
+			return
+		}
+		e.AddrSent = true
+		pe.execute(c, se.inst, se.tag, [3]uint64{e.Vals[0], 0, 0}, schedStoreAddr, false)
+		return
+	}
+	// Instruction store residency.
+	if !pe.ist.Access(pe.p.istKey(se.tag.Thread, se.inst)) {
+		pe.stallUntil = c + uint64(pe.p.cfg.InstMissPenalty)
+		se.readyAt = pe.stallUntil
+		pe.schedQ.pushFront(se)
+		return
+	}
+	pe.execute(c, se.inst, se.tag, se.vals, schedFire, se.addrSent)
+	if se.fast && se.readyAt == c {
+		pe.p.stats.SpecFires++
+	}
+}
+
+// execute models the EXECUTE stage: computes the result and queues its
+// completion.
+func (pe *peUnit) execute(c uint64, id isa.InstID, tag isa.Tag, vals [3]uint64, kind schedKind, addrSent bool) {
+	p := pe.p
+	in := p.prog.Inst(id)
+	p.stats.Dispatches++
+	p.stats.Dynamic++
+	if in.Op.Countable() && kind == schedFire {
+		p.stats.Countable++
+	}
+	p.progress = c
+
+	done := c + uint64(isa.ExecLatency(in.Op))
+
+	switch in.Op {
+	case isa.OpHalt:
+		p.threadHalted(c, tag.Thread, vals[0])
+		return
+	case isa.OpSteer:
+		dests := in.Dests
+		if vals[2] != 0 {
+			dests = in.DestsT
+		}
+		if len(dests) > 0 {
+			pe.deliverAt(done, execResult{inst: id, tag: tag, value: vals[0]}, dests)
+		}
+		return
+	case isa.OpWaveAdv:
+		out := isa.Tag{Thread: tag.Thread, Wave: tag.Wave + 1}
+		pe.deliverAt(done, execResult{inst: id, tag: out, value: vals[0]}, in.Dests)
+		return
+	case isa.OpLoad:
+		pe.queueMem(done, id, tag, &storebuf.Request{
+			Kind: storebuf.ReqLoad, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0],
+		})
+		return
+	case isa.OpMemNop:
+		pe.queueMem(done, id, tag, &storebuf.Request{
+			Kind: storebuf.ReqNop, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0],
+		})
+		return
+	case isa.OpStore:
+		switch {
+		case kind == schedStoreAddr:
+			pe.queueMem(done, id, tag, &storebuf.Request{
+				Kind: storebuf.ReqStoreAddr, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0],
+			})
+		case addrSent:
+			pe.queueMem(done, id, tag, &storebuf.Request{
+				Kind: storebuf.ReqStoreData, Inst: id, Tag: tag, Mem: *in.Mem, Data: vals[1],
+			})
+		default:
+			pe.queueMem(done, id, tag, &storebuf.Request{
+				Kind: storebuf.ReqStoreFull, Inst: id, Tag: tag, Mem: *in.Mem,
+				Addr: vals[0], Data: vals[1],
+			})
+		}
+		return
+	}
+	v := isa.Eval(in.Op, in.Imm, vals[0], vals[1], vals[2])
+	pe.deliverAt(done, execResult{inst: id, tag: tag, value: v}, in.Dests)
+}
+
+// deliverAt queues a result for completion-time routing.
+func (pe *peUnit) deliverAt(done uint64, r execResult, dests []isa.Target) {
+	if len(dests) == 0 {
+		return
+	}
+	r.doneAt = done
+	r.dests = dests
+	pe.pending.push(r)
+}
+
+// queueMem queues a memory request for completion-time routing.
+func (pe *peUnit) queueMem(done uint64, id isa.InstID, tag isa.Tag, req *storebuf.Request) {
+	pe.pending.push(execResult{doneAt: done, inst: id, tag: tag, memReq: req})
+}
+
+// phaseOutput pops at most one output-queue entry and puts it on the
+// intra-domain bus: same-domain consumers receive it directly; remote
+// consumers are forwarded through the NET pseudo-PE; memory requests go to
+// the MEM pseudo-PE.
+func (pe *peUnit) phaseOutput(c uint64) {
+	if pe.outQ.empty() || pe.outQ.peek(0).readyAt > c {
+		return
+	}
+	e := pe.outQ.popFront()
+	d := pe.p.domain(pe.addr.Cluster, pe.addr.Domain)
+	if e.memReq != nil {
+		lvl := LevelCluster
+		if pe.p.placement.Home(e.tag.Thread) != pe.addr.Cluster {
+			lvl = LevelGrid
+		}
+		pe.p.stats.Traffic[lvl][ClassMemory]++
+		d.memQ.push(memQEntry{readyAt: c + 1, req: e.memReq})
+		return
+	}
+	for _, t := range e.dests {
+		dst := pe.p.loc(e.tag.Thread, t.Inst)
+		tok := isa.Token{Tag: e.tag, Value: e.value, Dest: t}
+		if dst.Cluster == pe.addr.Cluster && dst.Domain == pe.addr.Domain {
+			pe.p.stats.Traffic[LevelDomain][ClassOperand]++
+			pe.p.pe(dst).enqueueIn(inMsg{readyAt: c + 1, sentAt: e.sentAt, tok: tok})
+			continue
+		}
+		lvl := LevelCluster
+		if dst.Cluster != pe.addr.Cluster {
+			lvl = LevelGrid
+		}
+		pe.p.stats.Traffic[lvl][ClassOperand]++
+		d.netOutQ.push(netMsg{readyAt: c + 1, sentAt: e.sentAt, tok: tok, dst: dst})
+	}
+}
+
+// phaseInput accepts up to MatchBanks tokens per cycle from the input
+// queue. It scans past blocked tokens (in hardware, rejected senders retry
+// independently, which reorders arrivals): the scan stops at the window
+// once something was accepted, but continues to the end of the queue while
+// nothing has been, so a token that would unblock a k-bounded jam is always
+// reachable. Deep scans are suppressed while the matching table has
+// released nothing and no token has arrived since the last fruitless one —
+// the outcome could not differ.
+func (pe *peUnit) phaseInput(c uint64) {
+	// Tokens released from parking re-enter at the front: they are the
+	// oldest work and the quota just opened for them.
+	for i := len(pe.reinject) - 1; i >= 0; i-- {
+		pe.inQ.pushFront(inMsg{readyAt: c, tok: pe.reinject[i]})
+	}
+	pe.reinject = pe.reinject[:0]
+
+	accepted := 0
+	window := pe.p.cfg.InputWindow
+	i := 0
+	for accepted < pe.p.cfg.MatchBanks && i < pe.inQ.len() {
+		if i >= window && accepted > 0 {
+			break
+		}
+		m := pe.inQ.peek(i)
+		if m.readyAt > c {
+			i++
+			continue
+		}
+		tok := m.tok
+		sentAt := m.sentAt
+		li := pe.ist.LocalIndex(pe.p.istKey(tok.Tag.Thread, tok.Dest.Inst))
+		req := pe.p.required[tok.Dest.Inst]
+		out, e := pe.mt.Insert(tok, li, req, c, uint64(pe.p.cfg.OverflowPenalty))
+		if out == match.Rejected {
+			// k-bound: park until the table frees an entry of this
+			// instruction.
+			pe.p.stats.InputRejects++
+			pe.inQ.remove(i)
+			pe.park(tok)
+			continue
+		}
+		if out == match.RejectedBank {
+			pe.p.stats.InputRejects++
+			i++
+			continue
+		}
+		pe.inQ.remove(i)
+		accepted++
+		if sentAt > 0 {
+			pe.p.stats.OperandLatTotal += c - sentAt
+			pe.p.stats.OperandCount++
+		}
+		switch out {
+		case match.Completed:
+			// Normal MATCH path: ready after the MATCH stage.
+			ready := e.ReadyAt + 1
+			pe.schedQ.push(schedEntry{
+				readyAt: ready, inst: e.Inst, tag: e.Tag, vals: e.Vals,
+				addrSent: e.AddrSent,
+			})
+		case match.Stored:
+			pe.maybeStoreAddrHalf(c, tok, e)
+		}
+	}
+}

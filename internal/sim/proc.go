@@ -1,0 +1,455 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wavescalar/internal/cache"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/noc"
+	"wavescalar/internal/place"
+	"wavescalar/internal/storebuf"
+)
+
+// Memory is the simulator's flat functional memory (64-bit words keyed by
+// byte address). The cache hierarchy models timing; this holds the values.
+type Memory map[uint64]uint64
+
+// pendingMemOp tracks a load/store between store-buffer issue and cache
+// completion.
+type pendingMemOp struct {
+	inst     isa.InstID
+	tag      isa.Tag
+	value    uint64
+	cluster  int
+	issuedAt uint64
+}
+
+// Processor is a configured WaveScalar machine executing one program on
+// some number of threads.
+type Processor struct {
+	cfg       Config
+	prog      *isa.Program
+	placement *place.Placement
+	required  []uint8 // operand mask per instruction
+	threads   int
+	params    []map[string]uint64
+
+	pes      []*peUnit
+	domains  []*domainUnit
+	sbs      []*storebuf.Buffer
+	cacheSys *cache.System
+	grid     *noc.Grid
+	mem      Memory
+
+	outbox  fifo[*noc.Message] // retry queue for grid injections
+	pending map[uint64]pendingMemOp
+	reqSeq  uint64
+
+	halted     []bool
+	haltValues []uint64
+	haltCount  int
+	lastHalt   uint64
+	progress   uint64
+	cycle      uint64
+	stats      Stats
+}
+
+// New builds a processor for prog with one parameter map per thread.
+// mem seeds the functional memory (it is copied).
+func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) (*Processor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("sim: need at least one thread")
+	}
+	threads := len(params)
+	pl, err := place.Place(prog, threads, place.Config{
+		Clusters: cfg.Arch.Clusters, Domains: cfg.Arch.Domains,
+		PEs: cfg.Arch.PEs, Virt: cfg.Arch.Virt, Policy: cfg.Placement,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &Processor{
+		cfg:        cfg,
+		prog:       prog,
+		placement:  pl,
+		threads:    threads,
+		params:     params,
+		mem:        make(Memory, len(mem)),
+		pending:    make(map[uint64]pendingMemOp),
+		halted:     make([]bool, threads),
+		haltValues: make([]uint64, threads),
+	}
+	for a, v := range mem {
+		p.mem[a] = v
+	}
+	p.required = make([]uint8, len(prog.Insts))
+	for i := range prog.Insts {
+		p.required[i] = requiredMask(&prog.Insts[i])
+	}
+
+	// Build the machine.
+	arch := cfg.Arch
+	for ci := 0; ci < arch.Clusters; ci++ {
+		for di := 0; di < arch.Domains; di++ {
+			p.domains = append(p.domains, &domainUnit{p: p, cluster: ci, index: di})
+			for pi := 0; pi < arch.PEs; pi++ {
+				p.pes = append(p.pes, newPE(p, place.PEAddr{Cluster: ci, Domain: di, PE: pi}))
+			}
+		}
+	}
+	for ci := 0; ci < arch.Clusters; ci++ {
+		ci := ci
+		p.sbs = append(p.sbs, storebuf.New(storebuf.Config{
+			Contexts:    cfg.SBContexts,
+			PSQs:        cfg.PSQs,
+			PSQEntries:  cfg.PSQEntries,
+			PipelineLat: cfg.SBPipeLat,
+		}, func(cycle uint64, op storebuf.Issued) {
+			p.sbIssue(cycle, ci, op)
+		}))
+	}
+	w, h := noc.DimsFor(arch.Clusters)
+	p.grid = noc.New(w, h, noc.Config{PortBW: cfg.NocBW, QueueCap: cfg.NocQCap}, p.nocSink)
+	p.cacheSys = cache.New(cache.Config{
+		Clusters: arch.Clusters, L1KB: arch.L1KB, LineBytes: 128, L1Assoc: 4,
+		L1Lat: cfg.L1Lat, L1Ports: cfg.L1Ports, L2MB: arch.L2MB,
+		L2Lat: cfg.L2Lat, MemLat: cfg.MemLat,
+	}, p.cacheDone, p.cacheSend)
+
+	// Bind placed instructions to their PEs' instruction stores. Each
+	// thread gets its own instance (the placement isolates threads, so a
+	// machine's instruction capacity gates how many threads fit — the
+	// paper's Table 5 mechanism for thread-count jumps).
+	for t := 0; t < threads; t++ {
+		for i := range prog.Insts {
+			p.pe(pl.Loc(uint32(t), isa.InstID(i))).ist.Bind(p.istKey(uint32(t), isa.InstID(i)))
+		}
+	}
+	return p, nil
+}
+
+// istKey names a thread's instance of a static instruction in the
+// instruction stores.
+func (p *Processor) istKey(thread uint32, inst isa.InstID) isa.InstID {
+	return isa.InstID(int(thread)*len(p.prog.Insts) + int(inst))
+}
+
+// requiredMask returns the operand-presence mask an instruction fires on.
+func requiredMask(in *isa.Instruction) uint8 {
+	switch in.Op {
+	case isa.OpSteer:
+		return 0b101
+	case isa.OpSelect:
+		return 0b111
+	default:
+		if in.NumInputs() == 1 {
+			return 0b001
+		}
+		return 0b011
+	}
+}
+
+// pe returns the PE at an address.
+func (p *Processor) pe(a place.PEAddr) *peUnit {
+	arch := p.cfg.Arch
+	return p.pes[(a.Cluster*arch.Domains+a.Domain)*arch.PEs+a.PE]
+}
+
+// domain returns a cluster's domain unit.
+func (p *Processor) domain(cluster, d int) *domainUnit {
+	return p.domains[cluster*p.cfg.Arch.Domains+d]
+}
+
+// loc returns the PE hosting (thread, inst).
+func (p *Processor) loc(thread uint32, inst isa.InstID) place.PEAddr {
+	return p.placement.Loc(thread, inst)
+}
+
+// Mem exposes the functional memory (useful after Run for verification).
+func (p *Processor) Mem() Memory { return p.mem }
+
+// Placement exposes the placement (diagnostics).
+func (p *Processor) Placement() *place.Placement { return p.placement }
+
+// threadHalted records a thread's completion.
+func (p *Processor) threadHalted(c uint64, thread uint32, value uint64) {
+	if int(thread) < len(p.halted) && !p.halted[thread] {
+		p.halted[thread] = true
+		p.haltValues[thread] = value
+		p.haltCount++
+		p.lastHalt = c
+	}
+}
+
+// HaltValue returns the token value that reached a thread's halt
+// instruction (available after Run).
+func (p *Processor) HaltValue(thread uint32) uint64 { return p.haltValues[thread] }
+
+// nocSink receives grid deliveries.
+func (p *Processor) nocSink(cycle uint64, port noc.OutPort, m *noc.Message) {
+	switch pl := m.Payload.(type) {
+	case operandPayload:
+		d := p.domain(m.Dst, pl.dst.Domain)
+		d.netInQ.push(netMsg{readyAt: cycle + 2, sentAt: pl.sentAt, tok: pl.tok, dst: pl.dst})
+	case *storebuf.Request:
+		p.sbs[m.Dst].Enqueue(cycle+1, *pl)
+	default:
+		p.cacheSys.Deliver(cycle, m.Dst, m)
+	}
+}
+
+// cacheSend injects a coherence/memory message into the grid, counting its
+// traffic level.
+func (p *Processor) cacheSend(cycle uint64, m *noc.Message) bool {
+	ok := p.grid.Send(cycle, m)
+	if ok {
+		lvl := LevelGrid
+		if m.Src == m.Dst {
+			lvl = LevelCluster
+		}
+		p.stats.Traffic[lvl][ClassMemory]++
+	}
+	return ok
+}
+
+// sbIssue receives wave-ordered operations from a cluster's store buffer.
+func (p *Processor) sbIssue(cycle uint64, cluster int, op storebuf.Issued) {
+	switch op.Kind {
+	case storebuf.IssueNop:
+		p.respondMem(cycle, cluster, op.Inst, op.Tag, op.Addr)
+	case storebuf.IssueLoad:
+		v := p.mem[op.Addr]
+		id := p.reqSeq
+		p.reqSeq++
+		p.pending[id] = pendingMemOp{inst: op.Inst, tag: op.Tag, value: v, cluster: cluster, issuedAt: cycle}
+		p.cacheSys.Access(cycle, cluster, id, op.Addr, false)
+	case storebuf.IssueStore:
+		p.mem[op.Addr] = op.Data
+		id := p.reqSeq
+		p.reqSeq++
+		p.pending[id] = pendingMemOp{inst: op.Inst, tag: op.Tag, value: op.Data, cluster: cluster, issuedAt: cycle}
+		p.cacheSys.Access(cycle, cluster, id, op.Addr, true)
+	}
+}
+
+// cacheDone completes a memory access.
+func (p *Processor) cacheDone(cycle uint64, cluster int, reqID uint64) {
+	pm, ok := p.pending[reqID]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown memory completion %d", reqID))
+	}
+	delete(p.pending, reqID)
+	p.stats.MemAccesses++
+	p.stats.MemLatTotal += cycle - pm.issuedAt
+	p.progress = cycle
+	p.respondMem(cycle, pm.cluster, pm.inst, pm.tag, pm.value)
+}
+
+// respondMem delivers a memory operation's result tokens to its consumers
+// from the cluster's memory port.
+func (p *Processor) respondMem(cycle uint64, cluster int, inst isa.InstID, tag isa.Tag, value uint64) {
+	in := p.prog.Inst(inst)
+	for _, d := range in.Dests {
+		dst := p.loc(tag.Thread, d.Inst)
+		tok := isa.Token{Tag: tag, Value: value, Dest: d}
+		if dst.Cluster == cluster {
+			p.stats.Traffic[LevelCluster][ClassMemory]++
+			p.domain(cluster, dst.Domain).netInQ.push(netMsg{readyAt: cycle + 2, tok: tok, dst: dst})
+			continue
+		}
+		p.stats.Traffic[LevelGrid][ClassMemory]++
+		p.outbox.push(&noc.Message{
+			Src: cluster, Dst: dst.Cluster, VC: noc.VCMemory,
+			Payload: operandPayload{tok: tok, dst: dst},
+		})
+	}
+}
+
+// Run executes the program to completion and returns the statistics.
+func (p *Processor) Run() (*Stats, error) {
+	p.inject()
+	c := uint64(0)
+	for p.haltCount < p.threads {
+		if c >= p.cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded MaxCycles=%d (%d/%d threads done)",
+				p.cfg.MaxCycles, p.haltCount, p.threads)
+		}
+		if c > p.progress && c-p.progress > p.cfg.StallLimit {
+			return nil, fmt.Errorf("sim: no progress for %d cycles at cycle %d:\n%s",
+				p.cfg.StallLimit, c, p.dump())
+		}
+		p.tick(c)
+		c++
+	}
+	p.stats.Cycles = p.lastHalt + 1
+	// Drain in-flight memory so the functional memory reflects every
+	// store (bounded; normally finishes quickly).
+	for extra := uint64(0); extra < 2_000_000 && !p.quiesced(); extra++ {
+		p.tick(c)
+		c++
+	}
+	if !p.quiesced() {
+		return nil, fmt.Errorf("sim: post-halt drain did not quiesce:\n%s", p.dump())
+	}
+	p.collect()
+	return &p.stats, nil
+}
+
+// inject delivers every thread's parameter tokens at cycle 0.
+func (p *Processor) inject() {
+	for t := 0; t < p.threads; t++ {
+		for _, pr := range p.prog.Params {
+			v, ok := p.params[t][pr.Name]
+			if !ok && pr.Name == "start" {
+				v = 1
+			}
+			for _, tgt := range pr.Targets {
+				dst := p.loc(uint32(t), tgt.Inst)
+				p.pe(dst).enqueueIn(inMsg{readyAt: 0, tok: isa.Token{
+					Tag:   isa.Tag{Thread: uint32(t), Wave: 0},
+					Value: v,
+					Dest:  tgt,
+				}})
+			}
+		}
+	}
+	p.progress = 0
+}
+
+// tick advances the whole machine one cycle.
+func (p *Processor) tick(c uint64) {
+	p.cycle = c
+	p.grid.Tick(c)
+	p.cacheSys.Tick(c)
+	for _, sb := range p.sbs {
+		sb.Tick(c)
+	}
+	// Retry queued grid injections.
+	for !p.outbox.empty() {
+		if !p.grid.Send(c, *p.outbox.peek(0)) {
+			break
+		}
+		p.outbox.popFront()
+	}
+	for _, d := range p.domains {
+		if d.busy() {
+			d.tick(c)
+		}
+	}
+	// PE pipeline phases, each across all PEs, so pod bypass is symmetric.
+	for _, pe := range p.pes {
+		if !pe.pending.empty() {
+			pe.phaseComplete(c)
+		}
+	}
+	for _, pe := range p.pes {
+		if !pe.schedQ.empty() {
+			pe.phaseDispatch(c)
+		}
+	}
+	for _, pe := range p.pes {
+		if !pe.outQ.empty() {
+			pe.phaseOutput(c)
+		}
+	}
+	for _, pe := range p.pes {
+		if !pe.inQ.empty() || len(pe.reinject) > 0 {
+			pe.phaseInput(c)
+		}
+	}
+}
+
+// quiesced reports whether all queues have drained.
+func (p *Processor) quiesced() bool {
+	if len(p.pending) > 0 || p.grid.Pending() > 0 || p.cacheSys.Outstanding() > 0 || !p.outbox.empty() {
+		return false
+	}
+	for _, sb := range p.sbs {
+		if !sb.Quiet() {
+			return false
+		}
+	}
+	for _, d := range p.domains {
+		if d.busy() {
+			return false
+		}
+	}
+	for _, pe := range p.pes {
+		if pe.busy() || pe.idleParked() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// collect aggregates component statistics.
+func (p *Processor) collect() {
+	for _, pe := range p.pes {
+		ms := pe.mt.Stats()
+		p.stats.Match.Inserts += ms.Inserts
+		p.stats.Match.Matches += ms.Matches
+		p.stats.Match.Evictions += ms.Evictions
+		p.stats.Match.OverflowHits += ms.OverflowHits
+		p.stats.Match.KRejects += ms.KRejects
+		p.stats.Match.BankRejects += ms.BankRejects
+		is := pe.ist.Stats()
+		p.stats.IStoreHits += is.Hits
+		p.stats.IStoreMisses += is.Misses
+	}
+	for _, sb := range p.sbs {
+		ss := sb.Stats()
+		p.stats.StoreBuf.Arrivals += ss.Arrivals
+		p.stats.StoreBuf.IssuedLoads += ss.IssuedLoads
+		p.stats.StoreBuf.IssuedStores += ss.IssuedStores
+		p.stats.StoreBuf.IssuedNops += ss.IssuedNops
+		p.stats.StoreBuf.PSQAllocs += ss.PSQAllocs
+		p.stats.StoreBuf.PSQQueued += ss.PSQQueued
+		p.stats.StoreBuf.PSQStalls += ss.PSQStalls
+		p.stats.StoreBuf.ContextStalls += ss.ContextStalls
+		p.stats.StoreBuf.WavesDone += ss.WavesDone
+	}
+	p.stats.Cache = p.cacheSys.Stats()
+	p.stats.Noc = p.grid.Stats()
+}
+
+// dump renders diagnostic state for the deadlock report.
+func (p *Processor) dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  threads halted: %d/%d\n", p.haltCount, p.threads)
+	fmt.Fprintf(&b, "  pending mem ops: %d, grid: %d, cache: %d\n",
+		len(p.pending), p.grid.Pending(), p.cacheSys.Outstanding())
+	type peState struct {
+		addr                         place.PEAddr
+		in, sched, out, pend, parked int
+	}
+	var states []peState
+	for _, pe := range p.pes {
+		if pe.busy() || pe.parkedCount > 0 {
+			states = append(states, peState{pe.addr, pe.inQ.len(), pe.schedQ.len(), pe.outQ.len(), pe.pending.len(), pe.parkedCount})
+		}
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].in+states[i].sched > states[j].in+states[j].sched })
+	for i, s := range states {
+		if i >= 10 {
+			fmt.Fprintf(&b, "  ... %d more busy PEs\n", len(states)-10)
+			break
+		}
+		fmt.Fprintf(&b, "  PE %+v: inQ=%d sched=%d out=%d pending=%d parked=%d\n",
+			s.addr, s.in, s.sched, s.out, s.pend, s.parked)
+	}
+	for i, sb := range p.sbs {
+		st := sb.Stats()
+		fmt.Fprintf(&b, "  SB %d: contexts=%d arrivals=%d loads=%d stores=%d nops=%d waves=%d\n",
+			i, sb.ActiveContexts(), st.Arrivals, st.IssuedLoads, st.IssuedStores, st.IssuedNops, st.WavesDone)
+	}
+	return b.String()
+}

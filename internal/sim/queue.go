@@ -1,0 +1,52 @@
+package sim
+
+// fifo is a slice-backed queue with an amortized-O(1) pop-front.
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) push(v T) { q.items = append(q.items, v) }
+
+func (q *fifo[T]) len() int { return len(q.items) - q.head }
+
+func (q *fifo[T]) empty() bool { return q.len() == 0 }
+
+// peek returns the i-th element from the front.
+func (q *fifo[T]) peek(i int) *T { return &q.items[q.head+i] }
+
+func (q *fifo[T]) popFront() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v
+}
+
+// remove deletes the i-th element from the front, preserving order.
+func (q *fifo[T]) remove(i int) T {
+	idx := q.head + i
+	v := q.items[idx]
+	copy(q.items[idx:], q.items[idx+1:])
+	var zero T
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	return v
+}
+
+// pushFront inserts at the head (used for priority bypass entries).
+func (q *fifo[T]) pushFront(v T) {
+	if q.head > 0 {
+		q.head--
+		q.items[q.head] = v
+		return
+	}
+	q.items = append(q.items, v)
+	copy(q.items[1:], q.items)
+	q.items[0] = v
+}

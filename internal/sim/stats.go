@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"wavescalar/internal/cache"
+	"wavescalar/internal/match"
+	"wavescalar/internal/noc"
+	"wavescalar/internal/storebuf"
+)
+
+// TrafficLevel classifies a message by the lowest interconnect level that
+// carries it (Figure 8's x-axis categories).
+type TrafficLevel int
+
+// Traffic levels, innermost first.
+const (
+	LevelSelf    TrafficLevel = iota // producer PE to itself
+	LevelPod                         // to the pod partner (bypass)
+	LevelDomain                      // over the intra-domain bus
+	LevelCluster                     // over the intra-cluster interconnect
+	LevelGrid                        // over the inter-cluster network
+	numLevels
+)
+
+// String names the level as in Figure 8.
+func (l TrafficLevel) String() string {
+	switch l {
+	case LevelSelf:
+		return "intra-PE"
+	case LevelPod:
+		return "intra-pod"
+	case LevelDomain:
+		return "intra-domain"
+	case LevelCluster:
+		return "intra-cluster"
+	case LevelGrid:
+		return "inter-cluster"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// TrafficClass splits messages into operand data and memory/coherence
+// traffic (Figure 8's shading).
+type TrafficClass int
+
+// Traffic classes.
+const (
+	ClassOperand TrafficClass = iota
+	ClassMemory
+	numClasses
+)
+
+// String names the class.
+func (c TrafficClass) String() string {
+	if c == ClassOperand {
+		return "operand"
+	}
+	return "memory"
+}
+
+// Stats aggregates a run's measurements.
+type Stats struct {
+	Cycles    uint64
+	Dynamic   uint64 // dynamic instructions executed (all opcodes)
+	Countable uint64 // Alpha-equivalent instructions (AIPC numerator)
+
+	// Traffic[level][class] counts messages.
+	Traffic [numLevels][numClasses]uint64
+
+	// Component aggregates.
+	Match                    match.Stats
+	IStoreHits, IStoreMisses uint64
+	StoreBuf                 storebuf.Stats
+	Cache                    cache.Stats
+	Noc                      noc.Stats
+
+	// Memory access latency observed at the store buffer boundary
+	// (issue to completion), for loads and stores through the cache.
+	MemAccesses uint64
+	MemLatTotal uint64
+
+	// Operand delivery latency: producer execution completion to
+	// matching-table write, over every operand message (bypass counts as
+	// one cycle; memory-response tokens are excluded — they are tracked
+	// by MemLatTotal).
+	OperandLatTotal uint64
+	OperandCount    uint64
+
+	// Pipeline events.
+	Dispatches   uint64
+	SpecFires    uint64 // back-to-back bypass executions
+	OutQStalls   uint64 // cycles EXECUTE blocked on a full output queue
+	InputRejects uint64 // tokens that failed INPUT acceptance this run
+}
+
+// AIPC returns Alpha-equivalent instructions per cycle.
+func (s *Stats) AIPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Countable) / float64(s.Cycles)
+}
+
+// TrafficTotal returns the total message count.
+func (s *Stats) TrafficTotal() uint64 {
+	var n uint64
+	for l := TrafficLevel(0); l < numLevels; l++ {
+		for c := TrafficClass(0); c < numClasses; c++ {
+			n += s.Traffic[l][c]
+		}
+	}
+	return n
+}
+
+// TrafficShare returns the fraction of messages at or below the level.
+func (s *Stats) TrafficShare(level TrafficLevel) float64 {
+	total := s.TrafficTotal()
+	if total == 0 {
+		return 0
+	}
+	var n uint64
+	for l := TrafficLevel(0); l <= level; l++ {
+		for c := TrafficClass(0); c < numClasses; c++ {
+			n += s.Traffic[l][c]
+		}
+	}
+	return float64(n) / float64(total)
+}
+
+// OperandShare returns the fraction of all messages carrying operand data.
+func (s *Stats) OperandShare() float64 {
+	total := s.TrafficTotal()
+	if total == 0 {
+		return 0
+	}
+	var n uint64
+	for l := TrafficLevel(0); l < numLevels; l++ {
+		n += s.Traffic[l][ClassOperand]
+	}
+	return float64(n) / float64(total)
+}
+
+// AvgOperandLatency returns the mean operand delivery latency in cycles
+// (Section 4.3's message-latency metric).
+func (s *Stats) AvgOperandLatency() float64 {
+	if s.OperandCount == 0 {
+		return 0
+	}
+	return float64(s.OperandLatTotal) / float64(s.OperandCount)
+}
+
+// AvgMemLatency returns the mean store-buffer-to-completion latency.
+func (s *Stats) AvgMemLatency() float64 {
+	if s.MemAccesses == 0 {
+		return 0
+	}
+	return float64(s.MemLatTotal) / float64(s.MemAccesses)
+}
+
+// Format renders a human-readable summary.
+func (s *Stats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles            %d\n", s.Cycles)
+	fmt.Fprintf(&b, "instructions      %d dynamic, %d countable\n", s.Dynamic, s.Countable)
+	fmt.Fprintf(&b, "AIPC              %.3f\n", s.AIPC())
+	fmt.Fprintf(&b, "traffic           %d messages (%.1f%% operand)\n",
+		s.TrafficTotal(), 100*s.OperandShare())
+	for l := TrafficLevel(0); l < numLevels; l++ {
+		tot := s.Traffic[l][ClassOperand] + s.Traffic[l][ClassMemory]
+		if s.TrafficTotal() > 0 {
+			fmt.Fprintf(&b, "  %-14s %8d (%.1f%%)\n", l, tot,
+				100*float64(tot)/float64(s.TrafficTotal()))
+		}
+	}
+	fmt.Fprintf(&b, "matching          %d matches, %d evictions, %d overflow hits, %d k-rejects\n",
+		s.Match.Matches, s.Match.Evictions, s.Match.OverflowHits, s.Match.KRejects)
+	fmt.Fprintf(&b, "inst store        %d hits, %d misses\n", s.IStoreHits, s.IStoreMisses)
+	fmt.Fprintf(&b, "store buffer      %d loads, %d stores, %d nops, %d psq allocs\n",
+		s.StoreBuf.IssuedLoads, s.StoreBuf.IssuedStores, s.StoreBuf.IssuedNops, s.StoreBuf.PSQAllocs)
+	fmt.Fprintf(&b, "cache             %d hits, %d misses, %d L2 hits, %d L2 misses, %d invals\n",
+		s.Cache.L1Hits, s.Cache.L1Misses, s.Cache.L2Hits, s.Cache.L2Misses, s.Cache.Invalidations)
+	fmt.Fprintf(&b, "avg mem latency   %.1f cycles over %d accesses\n", s.AvgMemLatency(), s.MemAccesses)
+	fmt.Fprintf(&b, "avg operand lat   %.2f cycles over %d deliveries\n", s.AvgOperandLatency(), s.OperandCount)
+	fmt.Fprintf(&b, "spec fires        %d of %d dispatches\n", s.SpecFires, s.Dispatches)
+	return b.String()
+}

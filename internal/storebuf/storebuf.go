@@ -1,0 +1,447 @@
+// Package storebuf implements WaveScalar's wave-ordered store buffer
+// (Section 3.3.1): the per-cluster unit that restores von Neumann memory
+// ordering for an imperative program's loads and stores.
+//
+// Each thread's waves complete strictly in order; within a wave, operations
+// issue by the ripple rule on their (pred, seq, succ) annotations
+// (internal/waveorder). The buffer holds a fixed number of ordering
+// contexts ("the store buffer can handle four wave-ordered memory
+// sequences at once"): each context serves one thread's oldest incomplete
+// wave; arrivals for younger waves buffer until their turn.
+//
+// Stores are decoupled: the address half may arrive and issue before the
+// data. A dataless store that reaches the head of the ripple is assigned a
+// partial store queue (PSQ); later operations that target the same address
+// queue behind it, while operations to other addresses flow past to the
+// cache. When the data arrives the PSQ drains in order.
+package storebuf
+
+import (
+	"fmt"
+
+	"wavescalar/internal/isa"
+	"wavescalar/internal/waveorder"
+)
+
+// Config sizes the store buffer.
+type Config struct {
+	Contexts    int // concurrent wave-ordering contexts (4 in the RTL)
+	PSQs        int // partial store queues (2 in the RTL)
+	PSQEntries  int // entries per partial store queue (4 in the RTL)
+	PipelineLat int // processing pipeline depth in cycles (3 in the RTL)
+}
+
+// Validate checks the configuration. PSQs == 0 disables store decoupling
+// benefits (a dataless store stalls the ripple), which is a valid ablation.
+func (c Config) Validate() error {
+	if c.Contexts <= 0 {
+		return fmt.Errorf("storebuf: contexts must be positive")
+	}
+	if c.PSQs < 0 || c.PSQEntries < 0 || c.PipelineLat < 0 {
+		return fmt.Errorf("storebuf: negative size: %+v", c)
+	}
+	if c.PSQs > 0 && c.PSQEntries == 0 {
+		return fmt.Errorf("storebuf: PSQs without entries")
+	}
+	return nil
+}
+
+// ReqKind distinguishes the message types a PE sends.
+type ReqKind uint8
+
+const (
+	ReqLoad      ReqKind = iota // load with address
+	ReqStoreFull                // store with address and data together
+	ReqStoreAddr                // decoupled store: address half
+	ReqStoreData                // decoupled store: data half
+	ReqNop                      // wave-ordering no-op
+)
+
+// Request is one message arriving from a PE (already network-delayed).
+type Request struct {
+	Kind ReqKind
+	Inst isa.InstID
+	Tag  isa.Tag
+	Mem  isa.MemInfo
+	Addr uint64
+	Data uint64
+}
+
+// IssueKind classifies operations leaving the buffer for the cache.
+type IssueKind uint8
+
+const (
+	IssueLoad IssueKind = iota
+	IssueStore
+	IssueNop // completes immediately; never reaches the cache
+)
+
+// Issued is an operation released in correct memory order.
+type Issued struct {
+	Kind IssueKind
+	Inst isa.InstID
+	Tag  isa.Tag
+	Addr uint64
+	Data uint64
+}
+
+// IssueFunc receives ordered operations; the simulator forwards loads and
+// stores to the L1 and delivers result tokens.
+type IssueFunc func(cycle uint64, op Issued)
+
+// Stats counts store-buffer events.
+type Stats struct {
+	Arrivals      uint64
+	IssuedLoads   uint64
+	IssuedStores  uint64
+	IssuedNops    uint64
+	PSQAllocs     uint64 // dataless stores granted a partial store queue
+	PSQQueued     uint64 // ops captured behind a pending store
+	PSQStalls     uint64 // cycles the ripple stalled with no free PSQ
+	ContextStalls uint64 // cycles a head wave waited for an ordering context
+	WavesDone     uint64
+}
+
+// op is a wave-resident operation awaiting ripple issue.
+type op struct {
+	req     Request
+	hasData bool // for stores: data half present
+	readyAt uint64
+}
+
+// waveCtx is one active ordering context.
+type waveCtx struct {
+	thread  uint32
+	wave    uint32
+	ripple  *waveorder.Wave
+	pending []op
+}
+
+// psq is a partial store queue.
+type psq struct {
+	valid   bool
+	addr    uint64
+	inst    isa.InstID
+	tag     isa.Tag
+	hasData bool
+	data    uint64
+	queue   []Issued // ops captured behind the pending store
+}
+
+type threadState struct {
+	nextWave uint32
+	// spill holds ops for waves that do not yet own a context.
+	spill map[uint32][]op
+	// active is the context serving nextWave, if granted.
+	active *waveCtx
+	// waiting marks the thread as queued for a context grant.
+	waiting bool
+}
+
+// Buffer is one cluster's wave-ordered store buffer.
+type Buffer struct {
+	cfg       Config
+	issue     IssueFunc
+	threads   map[uint32]*threadState
+	threadIDs []uint32 // first-seen order, for deterministic ticking
+	grantQ    []uint32 // threads waiting for a context, FIFO
+	inUse     int
+	psqs      []psq
+	stats     Stats
+}
+
+// New creates a store buffer that releases ordered operations through fn.
+func New(cfg Config, fn IssueFunc) *Buffer {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Buffer{
+		cfg:     cfg,
+		issue:   fn,
+		threads: make(map[uint32]*threadState),
+		psqs:    make([]psq, cfg.PSQs),
+	}
+}
+
+// Stats returns the buffer's counters.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// ActiveContexts returns how many ordering contexts are in use.
+func (b *Buffer) ActiveContexts() int { return b.inUse }
+
+// Quiet reports whether the buffer holds no work: no active or spilled
+// waves, no pending grants, and no partial store queues awaiting data.
+func (b *Buffer) Quiet() bool {
+	if b.inUse > 0 || len(b.grantQ) > 0 {
+		return false
+	}
+	for i := range b.psqs {
+		if b.psqs[i].valid {
+			return false
+		}
+	}
+	for _, ts := range b.threads {
+		if ts.active != nil || len(ts.spill) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *Buffer) thread(id uint32) *threadState {
+	ts := b.threads[id]
+	if ts == nil {
+		ts = &threadState{spill: make(map[uint32][]op)}
+		b.threads[id] = ts
+		b.threadIDs = append(b.threadIDs, id)
+	}
+	return ts
+}
+
+// Enqueue accepts a request at the given cycle; it becomes visible to the
+// ripple after the processing-pipeline latency.
+func (b *Buffer) Enqueue(cycle uint64, r Request) {
+	b.stats.Arrivals++
+	ts := b.thread(r.Tag.Thread)
+	o := op{req: r, hasData: r.Kind == ReqStoreFull, readyAt: cycle + uint64(b.cfg.PipelineLat)}
+
+	// A decoupled data half merges with its store's address half wherever
+	// that is (spilled, active, or already in a PSQ).
+	if r.Kind == ReqStoreData {
+		if b.mergeStoreData(cycle, ts, r) {
+			return
+		}
+		// Data arrived before the address: hold it as a spilled record;
+		// the address half will merge with it.
+	}
+	// Conversely, an address half may find its data already waiting.
+	if r.Kind == ReqStoreAddr {
+		if data, ok := b.takeEarlyData(ts, r); ok {
+			o.req.Kind = ReqStoreFull
+			o.req.Data = data
+			o.hasData = true
+		}
+	}
+
+	if ts.active != nil && ts.active.wave == r.Tag.Wave {
+		ts.active.pending = append(ts.active.pending, o)
+		return
+	}
+	if r.Tag.Wave < ts.nextWave {
+		panic(fmt.Sprintf("storebuf: op for completed wave %d (next %d)", r.Tag.Wave, ts.nextWave))
+	}
+	ts.spill[r.Tag.Wave] = append(ts.spill[r.Tag.Wave], o)
+	if r.Tag.Wave == ts.nextWave && ts.active == nil && !ts.waiting {
+		ts.waiting = true
+		b.grantQ = append(b.grantQ, r.Tag.Thread)
+	}
+}
+
+// mergeStoreData attaches a data half to its store. Returns true if merged.
+func (b *Buffer) mergeStoreData(cycle uint64, ts *threadState, r Request) bool {
+	// In a PSQ?
+	for i := range b.psqs {
+		q := &b.psqs[i]
+		if q.valid && !q.hasData && q.inst == r.Inst && q.tag == r.Tag {
+			q.hasData = true
+			q.data = r.Data
+			b.drainPSQ(cycle, q)
+			return true
+		}
+	}
+	merge := func(ops []op) bool {
+		for i := range ops {
+			o := &ops[i]
+			if o.req.Inst == r.Inst && o.req.Tag == r.Tag &&
+				(o.req.Kind == ReqStoreAddr) && !o.hasData {
+				o.hasData = true
+				o.req.Data = r.Data
+				o.req.Kind = ReqStoreFull
+				return true
+			}
+		}
+		return false
+	}
+	if ts.active != nil && ts.active.wave == r.Tag.Wave && merge(ts.active.pending) {
+		return true
+	}
+	return merge(ts.spill[r.Tag.Wave])
+}
+
+// takeEarlyData removes a data-half record waiting for store (inst, tag)
+// and returns its value.
+func (b *Buffer) takeEarlyData(ts *threadState, r Request) (uint64, bool) {
+	take := func(ops *[]op) (uint64, bool) {
+		for i := range *ops {
+			o := (*ops)[i]
+			if o.req.Kind == ReqStoreData && o.req.Inst == r.Inst && o.req.Tag == r.Tag {
+				*ops = append((*ops)[:i], (*ops)[i+1:]...)
+				return o.req.Data, true
+			}
+		}
+		return 0, false
+	}
+	if ts.active != nil && ts.active.wave == r.Tag.Wave {
+		if d, ok := take(&ts.active.pending); ok {
+			return d, true
+		}
+	}
+	sp := ts.spill[r.Tag.Wave]
+	d, ok := take(&sp)
+	if ok {
+		ts.spill[r.Tag.Wave] = sp
+	}
+	return d, ok
+}
+
+// Tick advances the buffer one cycle: grants free contexts to waiting
+// threads and ripples every active context.
+func (b *Buffer) Tick(cycle uint64) {
+	// Grant contexts FIFO.
+	for b.inUse < b.cfg.Contexts && len(b.grantQ) > 0 {
+		tid := b.grantQ[0]
+		b.grantQ = b.grantQ[1:]
+		ts := b.thread(tid)
+		ts.waiting = false
+		if ts.active != nil {
+			continue
+		}
+		ctx := &waveCtx{thread: tid, wave: ts.nextWave, ripple: waveorder.NewWave()}
+		ctx.pending = ts.spill[ts.nextWave]
+		delete(ts.spill, ts.nextWave)
+		ts.active = ctx
+		b.inUse++
+	}
+	if len(b.grantQ) > 0 {
+		b.stats.ContextStalls += uint64(len(b.grantQ))
+	}
+
+	for _, tid := range b.threadIDs {
+		ts := b.threads[tid]
+		if ts.active != nil {
+			b.ripple(cycle, tid, ts)
+		}
+	}
+}
+
+// ripple issues every currently issuable op of the thread's active wave.
+func (b *Buffer) ripple(cycle uint64, tid uint32, ts *threadState) {
+	ctx := ts.active
+	for {
+		progress := false
+		for i := 0; i < len(ctx.pending); i++ {
+			o := ctx.pending[i]
+			if o.readyAt > cycle || !ctx.ripple.CanIssue(o.req.Mem) {
+				continue
+			}
+			// A data half that arrived before its address and never
+			// merged cannot occur here: only address-bearing ops carry
+			// chain annotations that the ripple can accept.
+			if o.req.Kind == ReqStoreData {
+				continue
+			}
+			if !b.issueOp(cycle, o) {
+				// No PSQ free for a dataless store: the ripple stalls.
+				b.stats.PSQStalls++
+				return
+			}
+			ctx.ripple.Issue(o.req.Mem)
+			ctx.pending = append(ctx.pending[:i], ctx.pending[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			break
+		}
+	}
+	if ctx.ripple.Complete() {
+		if len(ctx.pending) != 0 {
+			panic(fmt.Sprintf("storebuf: wave t%d.w%d completed with %d ops pending",
+				tid, ctx.wave, len(ctx.pending)))
+		}
+		ts.active = nil
+		b.inUse--
+		b.stats.WavesDone++
+		ts.nextWave++
+		if _, ok := ts.spill[ts.nextWave]; ok && !ts.waiting {
+			ts.waiting = true
+			b.grantQ = append(b.grantQ, tid)
+		}
+	}
+}
+
+// issueOp releases one wave-ordered op: to a PSQ, behind a PSQ, or to the
+// cache. Returns false when a dataless store finds no free PSQ.
+func (b *Buffer) issueOp(cycle uint64, o op) bool {
+	r := o.req
+	// Associative check: does the op target an address owned by a PSQ?
+	if q := b.findPSQ(r.Addr); q != nil {
+		if len(q.queue) >= b.cfg.PSQEntries {
+			return false // queue full: stall the ripple
+		}
+		if r.Kind == ReqStoreAddr && !o.hasData {
+			// A second dataless store to the same address: hold the
+			// ripple until its data merges rather than queueing a store
+			// with no value.
+			return false
+		}
+		q.queue = append(q.queue, b.toIssued(r, o.hasData))
+		b.stats.PSQQueued++
+		return true
+	}
+	if r.Kind == ReqStoreAddr && !o.hasData {
+		// Dataless store at the ripple head: needs a PSQ.
+		for i := range b.psqs {
+			q := &b.psqs[i]
+			if !q.valid {
+				*q = psq{valid: true, addr: r.Addr, inst: r.Inst, tag: r.Tag}
+				b.stats.PSQAllocs++
+				return true
+			}
+		}
+		return false
+	}
+	b.emit(cycle, b.toIssued(r, o.hasData))
+	return true
+}
+
+func (b *Buffer) toIssued(r Request, hasData bool) Issued {
+	switch r.Kind {
+	case ReqLoad:
+		return Issued{Kind: IssueLoad, Inst: r.Inst, Tag: r.Tag, Addr: r.Addr}
+	case ReqNop:
+		return Issued{Kind: IssueNop, Inst: r.Inst, Tag: r.Tag}
+	default:
+		return Issued{Kind: IssueStore, Inst: r.Inst, Tag: r.Tag, Addr: r.Addr, Data: r.Data}
+	}
+}
+
+func (b *Buffer) findPSQ(addr uint64) *psq {
+	for i := range b.psqs {
+		if b.psqs[i].valid && b.psqs[i].addr == addr {
+			return &b.psqs[i]
+		}
+	}
+	return nil
+}
+
+// drainPSQ releases the pending store and everything queued behind it.
+func (b *Buffer) drainPSQ(cycle uint64, q *psq) {
+	b.emit(cycle, Issued{Kind: IssueStore, Inst: q.inst, Tag: q.tag, Addr: q.addr, Data: q.data})
+	for _, is := range q.queue {
+		b.emit(cycle, is)
+	}
+	*q = psq{}
+}
+
+func (b *Buffer) emit(cycle uint64, is Issued) {
+	switch is.Kind {
+	case IssueLoad:
+		b.stats.IssuedLoads++
+	case IssueStore:
+		b.stats.IssuedStores++
+	case IssueNop:
+		b.stats.IssuedNops++
+	}
+	b.issue(cycle, is)
+}

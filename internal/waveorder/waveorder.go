@@ -1,0 +1,64 @@
+// Package waveorder implements the ripple-issue rule of WaveScalar's
+// wave-ordered memory: given memory operations annotated with
+// (predecessor, sequence, successor) links — where branches leave '?'
+// wildcards — it decides when each operation may issue so that a wave's
+// memory requests reach the cache in program order.
+//
+// The rule: the wave's first operation (Pred == SeqNone) issues first;
+// thereafter an operation issues when its Pred names the last issued
+// operation's Seq, or the last issued operation's Succ names this
+// operation's Seq. The graph builder guarantees at least one side of every
+// dynamic adjacency is concrete, so the ripple never stalls on a
+// wildcard-to-wildcard edge.
+package waveorder
+
+import "wavescalar/internal/isa"
+
+// Wave tracks the ripple state of a single (thread, wave) memory sequence.
+// The zero value is ready to use.
+type Wave struct {
+	started  bool
+	complete bool
+	lastSeq  int32
+	lastSucc int32
+	issued   int
+}
+
+// NewWave returns an empty wave.
+func NewWave() *Wave { return &Wave{} }
+
+// CanIssue reports whether an operation with annotation m may issue now.
+func (w *Wave) CanIssue(m isa.MemInfo) bool {
+	if w.complete {
+		return false
+	}
+	if !w.started {
+		return m.Pred == isa.SeqNone
+	}
+	if m.Pred >= 0 && m.Pred == w.lastSeq {
+		return true
+	}
+	if w.lastSucc >= 0 && w.lastSucc == m.Seq {
+		return true
+	}
+	return false
+}
+
+// Issue records that the operation with annotation m has issued. The caller
+// must have checked CanIssue.
+func (w *Wave) Issue(m isa.MemInfo) {
+	w.started = true
+	w.lastSeq = m.Seq
+	w.lastSucc = m.Succ
+	w.issued++
+	if m.Succ == isa.SeqNone {
+		w.complete = true
+	}
+}
+
+// Complete reports whether the wave's memory sequence has finished (an
+// operation with no successor has issued).
+func (w *Wave) Complete() bool { return w.complete }
+
+// Issued returns how many operations have issued in this wave.
+func (w *Wave) Issued() int { return w.issued }

@@ -1,0 +1,151 @@
+package waveorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"wavescalar/internal/isa"
+)
+
+func mi(pred, seq, succ int32) isa.MemInfo { return isa.MemInfo{Pred: pred, Seq: seq, Succ: succ} }
+
+func TestLinearChain(t *testing.T) {
+	w := NewWave()
+	ops := []isa.MemInfo{
+		mi(isa.SeqNone, 0, 1),
+		mi(0, 1, 2),
+		mi(1, 2, isa.SeqNone),
+	}
+	for i, m := range ops {
+		if !w.CanIssue(m) {
+			t.Fatalf("op %d should be issuable", i)
+		}
+		w.Issue(m)
+	}
+	if !w.Complete() {
+		t.Error("wave should be complete")
+	}
+	if w.Issued() != 3 {
+		t.Errorf("issued = %d, want 3", w.Issued())
+	}
+}
+
+func TestOutOfOrderArrivalBlocks(t *testing.T) {
+	w := NewWave()
+	second := mi(0, 1, isa.SeqNone)
+	if w.CanIssue(second) {
+		t.Fatal("op 1 must wait for op 0")
+	}
+	w.Issue(mi(isa.SeqNone, 0, 1))
+	if !w.CanIssue(second) {
+		t.Fatal("op 1 should issue after op 0")
+	}
+}
+
+func TestBranchWildcards(t *testing.T) {
+	// Chain: A<.,0,?>  then taken arm S<0,1,3> (or untaken N<0,2,3>),
+	// then join J<?,3,.>. Only one arm arrives dynamically.
+	a := mi(isa.SeqNone, 0, isa.SeqWild)
+	armTaken := mi(0, 1, 3)
+	armUntaken := mi(0, 2, 3)
+	join := mi(isa.SeqWild, 3, isa.SeqNone)
+
+	for _, arm := range []isa.MemInfo{armTaken, armUntaken} {
+		w := NewWave()
+		if w.CanIssue(arm) {
+			t.Fatal("arm must wait for A")
+		}
+		if w.CanIssue(join) {
+			t.Fatal("join must wait for the arm")
+		}
+		w.Issue(a)
+		if !w.CanIssue(arm) {
+			t.Fatal("arm should issue after A (concrete pred)")
+		}
+		w.Issue(arm)
+		if !w.CanIssue(join) {
+			t.Fatal("join should issue after the arm (arm's concrete succ)")
+		}
+		w.Issue(join)
+		if !w.Complete() {
+			t.Error("wave should complete after join")
+		}
+	}
+}
+
+func TestCompleteRejectsFurtherIssue(t *testing.T) {
+	w := NewWave()
+	w.Issue(mi(isa.SeqNone, 0, isa.SeqNone))
+	if !w.Complete() {
+		t.Fatal("single-op wave should complete")
+	}
+	if w.CanIssue(mi(0, 1, isa.SeqNone)) {
+		t.Error("completed wave must not issue more operations")
+	}
+}
+
+func TestFirstOpOnlyWithNoPred(t *testing.T) {
+	w := NewWave()
+	if w.CanIssue(mi(isa.SeqWild, 3, isa.SeqNone)) {
+		t.Error("a wildcard-pred op must not start a wave")
+	}
+	if !w.CanIssue(mi(isa.SeqNone, 5, isa.SeqNone)) {
+		t.Error("pred==SeqNone starts a wave regardless of seq value")
+	}
+}
+
+// Property: for a random linear chain presented in random arrival order,
+// repeatedly draining issuable ops always issues all of them in exactly
+// sequence order.
+func TestRandomArrivalIssuesInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		chain := make([]isa.MemInfo, n)
+		for i := range chain {
+			pred, succ := int32(i-1), int32(i+1)
+			if i == 0 {
+				pred = isa.SeqNone
+			}
+			if i == n-1 {
+				succ = isa.SeqNone
+			}
+			chain[i] = mi(pred, int32(i), succ)
+		}
+		arrived := make([]isa.MemInfo, 0, n)
+		order := rng.Perm(n)
+		w := NewWave()
+		var issued []int32
+		for _, idx := range order {
+			arrived = append(arrived, chain[idx])
+			for {
+				progress := false
+				rest := arrived[:0]
+				for _, m := range arrived {
+					if w.CanIssue(m) {
+						w.Issue(m)
+						issued = append(issued, m.Seq)
+						progress = true
+					} else {
+						rest = append(rest, m)
+					}
+				}
+				arrived = rest
+				if !progress {
+					break
+				}
+			}
+		}
+		if len(issued) != n {
+			t.Fatalf("trial %d: issued %d of %d ops", trial, len(issued), n)
+		}
+		for i, s := range issued {
+			if s != int32(i) {
+				t.Fatalf("trial %d: issue order %v not sequential", trial, issued)
+			}
+		}
+		if !w.Complete() {
+			t.Fatalf("trial %d: wave incomplete", trial)
+		}
+	}
+}

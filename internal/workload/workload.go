@@ -1,0 +1,156 @@
+// Package workload provides the benchmark suite for the reproduction: one
+// synthetic kernel per application the paper evaluates (Spec2000,
+// Mediabench, Splash2), built with the graph package so each executes as a
+// genuine WaveScalar dataflow program.
+//
+// The kernels are not the original benchmarks — those required DEC Alpha
+// binaries and a binary translator — but each mimics its application's
+// character along the axes that drive the paper's results: instruction mix
+// (integer vs floating point), memory intensity and working-set size,
+// control structure, available ILP, and (for Splash2) thread-level
+// parallelism over partitioned data.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"wavescalar/internal/isa"
+)
+
+// Suite identifies the benchmark group, which the paper evaluates
+// separately (Figure 6).
+type Suite int
+
+// The three suites.
+const (
+	Spec Suite = iota
+	Media
+	Splash
+)
+
+// String names the suite.
+func (s Suite) String() string {
+	switch s {
+	case Spec:
+		return "spec2000"
+	case Media:
+		return "mediabench"
+	case Splash:
+		return "splash2"
+	}
+	return fmt.Sprintf("suite(%d)", int(s))
+}
+
+// Scale controls how much dynamic work an instance performs. Iters scales
+// loop trip counts; Footprint scales working-set sizes (bytes per thread,
+// approximately).
+type Scale struct {
+	Iters     int
+	Footprint int
+}
+
+// Tiny is suitable for unit tests, Small for benchmarks, Medium for the
+// full Pareto sweep from the command-line tools.
+var (
+	Tiny   = Scale{Iters: 24, Footprint: 1 << 10}
+	Small  = Scale{Iters: 96, Footprint: 8 << 10}
+	Medium = Scale{Iters: 384, Footprint: 32 << 10}
+)
+
+// Instance is a ready-to-run workload: a program plus its per-thread
+// parameters and initial memory image.
+type Instance struct {
+	Prog *isa.Program
+	Mem  map[uint64]uint64
+	// params returns the bindings for one thread of totalThreads.
+	params func(thread, totalThreads int) map[string]uint64
+	// MaxThreads caps the usable thread count (1 for the single-threaded
+	// suites).
+	MaxThreads int
+}
+
+// Params returns the parameter bindings for each of n threads.
+func (in *Instance) Params(n int) []map[string]uint64 {
+	if n < 1 || n > in.MaxThreads {
+		panic(fmt.Sprintf("workload: %d threads outside [1, %d]", n, in.MaxThreads))
+	}
+	out := make([]map[string]uint64, n)
+	for t := 0; t < n; t++ {
+		out[t] = in.params(t, n)
+	}
+	return out
+}
+
+// Workload is one named benchmark.
+type Workload struct {
+	Name  string
+	Suite Suite
+	// Build constructs an instance at the given scale.
+	Build func(sc Scale) *Instance
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workload: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// ByName returns a registered workload.
+func ByName(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// All returns every workload, sorted by suite then name.
+func All() []Workload {
+	out := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite < out[j].Suite
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// BySuite returns the workloads of one suite, sorted by name.
+func BySuite(s Suite) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Suite == s {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// fill seeds memory with n 64-bit words starting at base using a cheap
+// deterministic generator.
+func fill(mem map[uint64]uint64, base uint64, n int, gen func(i int) uint64) {
+	for i := 0; i < n; i++ {
+		mem[base+uint64(i)*8] = gen(i)
+	}
+}
+
+// xorshift is the deterministic value generator used for seeds.
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// f bits of a float64.
+func f(v float64) uint64 { return isa.F2U(v) }
+
+// singleThread wraps a params function for single-threaded kernels.
+func singleThread(p map[string]uint64) func(int, int) map[string]uint64 {
+	return func(int, int) map[string]uint64 { return p }
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+
+	"wavescalar/internal/isa"
+	"wavescalar/internal/ref"
+	"wavescalar/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// The paper's fifteen applications.
+	want := map[string]Suite{
+		"gzip": Spec, "mcf": Spec, "twolf": Spec, "ammp": Spec, "art": Spec, "equake": Spec,
+		"djpeg": Media, "mpeg2encode": Media, "rawdaudio": Media,
+		"fft": Splash, "lu": Splash, "ocean": Splash, "radix": Splash,
+		"raytrace": Splash, "water": Splash,
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d workloads, want %d", len(All()), len(want))
+	}
+	for name, suite := range want {
+		w, ok := ByName(name)
+		if !ok {
+			t.Errorf("workload %q missing", name)
+			continue
+		}
+		if w.Suite != suite {
+			t.Errorf("%q in suite %v, want %v", name, w.Suite, suite)
+		}
+	}
+	if len(BySuite(Spec)) != 6 || len(BySuite(Media)) != 3 || len(BySuite(Splash)) != 6 {
+		t.Error("suite partition sizes wrong")
+	}
+}
+
+// TestAllKernelsRunFunctionally executes every kernel on the reference
+// interpreter: this validates graph construction, wave-ordering
+// annotations, and termination for each.
+func TestAllKernelsRunFunctionally(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			inst := w.Build(Tiny)
+			if err := inst.Prog.Validate(); err != nil {
+				t.Fatalf("invalid program: %v", err)
+			}
+			mem := ref.Memory{}
+			for a, v := range inst.Mem {
+				mem[a] = v
+			}
+			ip := ref.New(inst.Prog, mem)
+			res, err := ip.Run(0, inst.Params(1)[0])
+			if err != nil {
+				t.Fatalf("ref run failed: %v", err)
+			}
+			if res.Countable == 0 {
+				t.Error("no countable instructions executed")
+			}
+			if res.Countable < 100 {
+				t.Errorf("only %d countable instructions at Tiny scale; too small to measure", res.Countable)
+			}
+			memOps := res.ByOpcode[isa.OpLoad] + res.ByOpcode[isa.OpStore]
+			if memOps == 0 {
+				t.Error("kernel performs no memory operations")
+			}
+			t.Logf("%s: %d dynamic, %d countable, %d static insts",
+				w.Name, res.Dynamic, res.Countable, inst.Prog.NumStatic())
+		})
+	}
+}
+
+// TestKernelsOnSimulator runs each kernel on the cycle simulator at tiny
+// scale and cross-checks the dynamic counts against the interpreter.
+func TestKernelsOnSimulator(t *testing.T) {
+	cfg := sim.Baseline(sim.BaselineArch())
+	cfg.StallLimit = 200_000
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			inst := w.Build(Tiny)
+			proc, err := sim.New(cfg, inst.Prog, inst.Params(1), sim.Memory(inst.Mem))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := proc.Run()
+			if err != nil {
+				t.Fatalf("sim run failed: %v", err)
+			}
+			ip := ref.New(inst.Prog, toRefMem(inst.Mem))
+			res, err := ip.Run(0, inst.Params(1)[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Countable != res.Countable {
+				t.Errorf("countable mismatch: sim=%d ref=%d", st.Countable, res.Countable)
+			}
+			if got, want := proc.HaltValue(0), res.HaltValue; got != want {
+				t.Errorf("halt value: sim=%d ref=%d", got, want)
+			}
+			if st.AIPC() <= 0 {
+				t.Error("AIPC not positive")
+			}
+			t.Logf("%s: AIPC %.3f over %d cycles", w.Name, st.AIPC(), st.Cycles)
+		})
+	}
+}
+
+// TestSplashMultithreaded runs each Splash kernel with 4 threads and
+// checks all threads complete with the same per-thread work.
+func TestSplashMultithreaded(t *testing.T) {
+	cfg := sim.Baseline(sim.BaselineArch())
+	cfg.Arch.Clusters = 4
+	cfg.StallLimit = 300_000
+	for _, w := range BySuite(Splash) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			inst := w.Build(Tiny)
+			if inst.MaxThreads < 4 {
+				t.Fatalf("splash kernel caps threads at %d", inst.MaxThreads)
+			}
+			proc, err := sim.New(cfg, inst.Prog, inst.Params(4), sim.Memory(inst.Mem))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := proc.Run()
+			if err != nil {
+				t.Fatalf("4-thread run failed: %v", err)
+			}
+			// Compare against a single-thread run: 4 threads should beat 1
+			// on a 4-cluster machine.
+			p1, err := sim.New(cfg, inst.Prog, inst.Params(1), sim.Memory(inst.Mem))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st1, err := p1.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.AIPC() <= st1.AIPC() {
+				t.Errorf("4-thread AIPC %.3f should exceed 1-thread %.3f", st.AIPC(), st1.AIPC())
+			}
+		})
+	}
+}
+
+func toRefMem(m map[uint64]uint64) ref.Memory {
+	out := ref.Memory{}
+	for a, v := range m {
+		out[a] = v
+	}
+	return out
+}
+
+func TestScalesGrowWork(t *testing.T) {
+	for _, w := range []string{"gzip", "fft"} {
+		wk, _ := ByName(w)
+		tiny := wk.Build(Tiny)
+		small := wk.Build(Small)
+		rTiny, err := ref.New(tiny.Prog, toRefMem(tiny.Mem)).Run(0, tiny.Params(1)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rSmall, err := ref.New(small.Prog, toRefMem(small.Mem)).Run(0, small.Params(1)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rSmall.Countable <= rTiny.Countable {
+			t.Errorf("%s: Small (%d) should exceed Tiny (%d)", w, rSmall.Countable, rTiny.Countable)
+		}
+	}
+}
+
+func TestParamsBounds(t *testing.T) {
+	wk, _ := ByName("gzip")
+	inst := wk.Build(Tiny)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for thread count beyond MaxThreads")
+		}
+	}()
+	inst.Params(2)
+}

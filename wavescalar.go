@@ -1,0 +1,232 @@
+// Package wavescalar is a cycle-level simulator and design-space explorer
+// for the WaveScalar tiled dataflow architecture, reproducing
+// "Area-Performance Trade-offs in Tiled Dataflow Architectures"
+// (Swanson et al., ISCA 2006).
+//
+// The package exposes four layers:
+//
+//   - Programs: build WaveScalar dataflow graphs with NewProgram (loops,
+//     steering, wave-ordered memory) or use the bundled benchmark suite
+//     (Workloads, WorkloadByName) — synthetic stand-ins for the paper's
+//     Spec2000, Mediabench and Splash2 applications.
+//   - Simulation: configure a processor (Baseline, BaselineArch) and run
+//     programs on it (NewProcessor, RunWorkload); Stats reports AIPC,
+//     traffic by interconnect level, and component counters.
+//   - Area: the paper's Table 3 area model (TotalArea, ClusterBudget).
+//   - Design space: enumeration, pruning, matching-table tuning and
+//     Pareto analysis (DesignSpace, ViableDesigns, Sweep, ParetoFrontier,
+//     TuneMatchingTable).
+package wavescalar
+
+import (
+	"fmt"
+
+	"wavescalar/internal/area"
+	"wavescalar/internal/design"
+	"wavescalar/internal/energy"
+	"wavescalar/internal/graph"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/ref"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Config is a full processor configuration: architecture parameters
+	// plus microarchitectural knobs.
+	Config = sim.Config
+	// ArchParams are the seven area-model parameters (Table 3).
+	ArchParams = area.Params
+	// Stats reports a run's AIPC, traffic distribution and counters.
+	Stats = sim.Stats
+	// Processor is a configured machine ready to Run one program.
+	Processor = sim.Processor
+	// Memory is the flat functional memory image.
+	Memory = sim.Memory
+	// Program is a WaveScalar dataflow binary.
+	Program = isa.Program
+	// ProgramBuilder constructs dataflow programs.
+	ProgramBuilder = graph.Builder
+	// TrafficLevel and TrafficClass index Stats.Traffic (Figure 8).
+	TrafficLevel = sim.TrafficLevel
+	TrafficClass = sim.TrafficClass
+)
+
+// Traffic levels and classes (Figure 8 categories).
+const (
+	LevelSelf    = sim.LevelSelf
+	LevelPod     = sim.LevelPod
+	LevelDomain  = sim.LevelDomain
+	LevelCluster = sim.LevelCluster
+	LevelGrid    = sim.LevelGrid
+
+	ClassOperand = sim.ClassOperand
+	ClassMemory  = sim.ClassMemory
+)
+
+// Workload types.
+type (
+	// Workload is a named benchmark from the bundled suite.
+	Workload = workload.Workload
+	// WorkloadInstance is a built workload: program + memory + params.
+	WorkloadInstance = workload.Instance
+	// Scale sizes a workload's dynamic work.
+	Scale = workload.Scale
+	// Suite identifies spec2000, mediabench or splash2.
+	Suite = workload.Suite
+)
+
+// Workload scales and suites.
+var (
+	ScaleTiny   = workload.Tiny
+	ScaleSmall  = workload.Small
+	ScaleMedium = workload.Medium
+)
+
+const (
+	SuiteSpec   = workload.Spec
+	SuiteMedia  = workload.Media
+	SuiteSplash = workload.Splash
+)
+
+// Design-space types.
+type (
+	// DesignPoint is one candidate configuration with modeled area.
+	DesignPoint = design.Point
+	// Evaluated pairs a design with measured AIPC.
+	Evaluated = design.Evaluated
+	// SweepResult is a design's performance across a suite.
+	SweepResult = design.SweepResult
+	// SweepOptions configures Sweep.
+	SweepOptions = design.SweepOptions
+	// Tuning is a Table 4 row: k_opt, u_opt, virtualization ratio.
+	Tuning = design.Tuning
+	// TuneOptions configures TuneMatchingTable.
+	TuneOptions = design.TuneOptions
+)
+
+// NewProgram returns a builder for a dataflow program.
+func NewProgram(name string) *ProgramBuilder { return graph.New(name) }
+
+// BaselineArch returns the paper's Table 1 architecture: one cluster of 4
+// domains of 8 PEs, 128-entry matching tables and instruction stores.
+func BaselineArch() ArchParams { return sim.BaselineArch() }
+
+// Baseline returns the Table 1 microarchitecture for an architecture.
+func Baseline(arch ArchParams) Config { return sim.Baseline(arch) }
+
+// NewProcessor builds a processor running prog with one parameter map per
+// thread and the given initial memory.
+func NewProcessor(cfg Config, prog *Program, params []map[string]uint64, mem Memory) (*Processor, error) {
+	return sim.New(cfg, prog, params, mem)
+}
+
+// Workloads returns the bundled benchmark suite (15 kernels across
+// spec2000, mediabench and splash2).
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadsBySuite returns one suite's workloads.
+func WorkloadsBySuite(s Suite) []Workload { return workload.BySuite(s) }
+
+// WorkloadByName finds a bundled workload.
+func WorkloadByName(name string) (Workload, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return Workload{}, fmt.Errorf("wavescalar: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// RunWorkload builds the named workload at the given scale and runs it on
+// cfg with the given number of threads, returning the run statistics.
+func RunWorkload(cfg Config, name string, sc Scale, threads int) (*Stats, error) {
+	w, err := WorkloadByName(name)
+	if err != nil {
+		return nil, err
+	}
+	inst := w.Build(sc)
+	return design.RunOnce(cfg, inst, threads)
+}
+
+// Interpret executes a program functionally (no timing) and returns its
+// dynamic and countable instruction counts plus the halt value. It is the
+// reference semantics the cycle simulator is validated against.
+func Interpret(prog *Program, params map[string]uint64, mem map[uint64]uint64) (dynamic, countable, haltValue uint64, err error) {
+	m := ref.Memory{}
+	for a, v := range mem {
+		m[a] = v
+	}
+	res, err := ref.New(prog, m).Run(0, params)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return res.Dynamic, res.Countable, res.HaltValue, nil
+}
+
+// Area model (Table 3).
+
+// TotalArea returns a configuration's modeled die area in mm² at 90nm.
+func TotalArea(arch ArchParams) float64 { return area.Total(arch) }
+
+// PEArea returns one processing element's area for the given instruction
+// store and matching table capacities.
+func PEArea(virt, match int) float64 { return area.PE(virt, match) }
+
+// ClusterArea returns one cluster's area.
+func ClusterArea(arch ArchParams) float64 { return area.Cluster(arch) }
+
+// ClusterBudget renders the Table 2 per-component cluster budget.
+func ClusterBudget() string { return area.BaselineBudget().Format() }
+
+// Design space (Section 4.2).
+
+// DesignSpace enumerates every configuration in the area model's parameter
+// ranges (the paper's >21,000 configurations).
+func DesignSpace() []DesignPoint { return design.Enumerate() }
+
+// ViableDesigns applies the pruning rules and returns the buildable,
+// balanced designs the Pareto analysis evaluates.
+func ViableDesigns() []DesignPoint { return design.Viable() }
+
+// DesignRules documents the pruning rules applied by ViableDesigns.
+func DesignRules() []string { return append([]string(nil), design.Rules...) }
+
+// Sweep evaluates design points over workloads (concurrently; each
+// individual simulation is deterministic).
+func Sweep(points []DesignPoint, apps []Workload, opt SweepOptions) []SweepResult {
+	return design.Sweep(points, apps, opt)
+}
+
+// ParetoFrontier extracts the Pareto-optimal subset of evaluated designs.
+func ParetoFrontier(evals []Evaluated) []Evaluated { return design.Pareto(evals) }
+
+// SweepFrontier extracts the frontier directly from sweep results.
+func SweepFrontier(results []SweepResult) []Evaluated { return design.Frontier(results) }
+
+// TuneMatchingTable runs the Table 4 procedure for one workload.
+func TuneMatchingTable(w Workload, opt TuneOptions) (Tuning, error) {
+	return design.Tune(w, opt)
+}
+
+// DefaultTuneOptions mirrors the paper's tuning procedure.
+func DefaultTuneOptions() TuneOptions { return design.DefaultTuneOptions() }
+
+// Energy model (an extension beyond the paper, which defers power to
+// future work).
+
+// EnergyModel holds per-event energy constants; EnergyBreakdown is the
+// per-component estimate.
+type (
+	EnergyModel     = energy.Model
+	EnergyBreakdown = energy.Breakdown
+)
+
+// DefaultEnergyModel returns the 90nm reference constants.
+func DefaultEnergyModel() EnergyModel { return energy.Default90nm() }
+
+// EstimateEnergy computes a run's energy breakdown from its statistics and
+// the machine's architecture parameters.
+func EstimateEnergy(m EnergyModel, st *Stats, arch ArchParams) EnergyBreakdown {
+	return energy.Estimate(m, st, arch)
+}
