@@ -365,3 +365,43 @@ func BenchmarkMatchingCapacitySweep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTracingDisabled is the overhead guard for the tracing subsystem:
+// it runs the same workload as BenchmarkTable1Baseline with Config.Trace
+// nil. The nil-recorder fast path must keep this within noise (<2%) of the
+// pre-tracing simulator; compare against BenchmarkTracingEnabled for the
+// cost of full event recording.
+func BenchmarkTracingDisabled(b *testing.B) {
+	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
+	cfg.Trace = nil
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "simcycles/run")
+}
+
+// BenchmarkTracingEnabled measures the fully-instrumented run: every PE
+// fire, stall, message, cache and store-buffer event recorded into the
+// ring plus interval and per-tile aggregation.
+func BenchmarkTracingEnabled(b *testing.B) {
+	arch := wavescalar.BaselineArch()
+	var cycles, events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := wavescalar.Baseline(arch)
+		rec := wavescalar.NewTraceRecorder(wavescalar.TraceOptions{})
+		cfg.Trace = rec
+		st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+		events = uint64(rec.Len()) + rec.Dropped()
+	}
+	b.ReportMetric(float64(cycles), "simcycles/run")
+	b.ReportMetric(float64(events), "events/run")
+}

@@ -6,9 +6,17 @@
 //	wsim -list
 //	wsim -app fft -threads 4 -c 4 -scale small
 //	wsim -app mcf -v 64 -m 64 -l1 8 -l2 0
+//	wsim -app fft -json               # machine-readable stats to stdout
+//	wsim -app fft -trace out.json     # also write a Chrome trace
+//
+// Exit status: 0 on success, 1 on usage or run errors, 2 when the
+// simulator detects deadlock or a non-quiescent machine (no forward
+// progress, or tokens left in flight after all threads halted).
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +38,8 @@ func main() {
 	l2 := flag.Int("l2", 1, "total L2 MB")
 	k := flag.Int("k", 4, "k-loop bound")
 	showEnergy := flag.Bool("energy", false, "print the energy-model breakdown")
+	jsonOut := flag.Bool("json", false, "print machine-readable stats JSON to stdout")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON to this path")
 	flag.Parse()
 
 	if *list {
@@ -47,18 +57,81 @@ func main() {
 	}
 	cfg := wavescalar.Baseline(arch)
 	cfg.K = *k
+	var rec *wavescalar.TraceRecorder
+	if *tracePath != "" {
+		rec = wavescalar.NewTraceRecorder(wavescalar.TraceOptions{})
+		cfg.Trace = rec
+	}
 
-	fmt.Printf("running %s (%s scale) with %d thread(s) on %s (%.1f mm2)\n\n",
-		*app, *scale, *threads, arch.String(), wavescalar.TotalArea(arch))
+	if !*jsonOut {
+		fmt.Printf("running %s (%s scale) with %d thread(s) on %s (%.1f mm2)\n\n",
+			*app, *scale, *threads, arch.String(), wavescalar.TotalArea(arch))
+	}
 	st, err := wavescalar.RunWorkload(cfg, *app, sc, *threads)
 	if err != nil {
+		if errors.Is(err, wavescalar.ErrDeadlock) || errors.Is(err, wavescalar.ErrNotQuiesced) {
+			fmt.Fprintf(os.Stderr, "wsim: simulation did not complete: %v\n", err)
+			os.Exit(2)
+		}
 		fail(err)
+	}
+	if rec != nil {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			fail(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("wrote Chrome trace (%d events, %d dropped) to %s\n\n",
+				rec.Len(), rec.Dropped(), *tracePath)
+		}
+	}
+	if *jsonOut {
+		if err := printJSON(*app, *scale, *threads, arch, st); err != nil {
+			fail(err)
+		}
+		return
 	}
 	fmt.Print(st.Format())
 	if *showEnergy {
 		fmt.Println("\nenergy estimate (90nm event model; comparative, not absolute):")
 		fmt.Print(wavescalar.EstimateEnergy(wavescalar.DefaultEnergyModel(), st, arch).Format(st.Countable))
 	}
+}
+
+// printJSON emits one machine-readable result object on stdout.
+func printJSON(app, scale string, threads int, arch wavescalar.ArchParams, st *wavescalar.Stats) error {
+	out := struct {
+		App      string                `json:"app"`
+		Scale    string                `json:"scale"`
+		Threads  int                   `json:"threads"`
+		Arch     wavescalar.ArchParams `json:"arch"`
+		AreaMM2  float64               `json:"area_mm2"`
+		AIPC     float64               `json:"aipc"`
+		OpLat    float64               `json:"avg_operand_latency"`
+		MemLat   float64               `json:"avg_mem_latency"`
+		OpShare  float64               `json:"operand_share"`
+		Messages uint64                `json:"messages"`
+		Stats    *wavescalar.Stats     `json:"stats"`
+	}{
+		App: app, Scale: scale, Threads: threads, Arch: arch,
+		AreaMM2: wavescalar.TotalArea(arch),
+		AIPC:    st.AIPC(), OpLat: st.AvgOperandLatency(), MemLat: st.AvgMemLatency(),
+		OpShare: st.OperandShare(), Messages: st.TrafficTotal(), Stats: st,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	return enc.Encode(out)
+}
+
+// writeTrace writes the recorder's Chrome trace to path.
+func writeTrace(path string, rec *wavescalar.TraceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseScale(s string) (wavescalar.Scale, error) {

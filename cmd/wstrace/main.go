@@ -1,0 +1,119 @@
+// Command wstrace runs one bundled workload with cycle-level tracing
+// enabled and writes two artifacts: a Chrome trace-event JSON (load it at
+// https://ui.perfetto.dev or chrome://tracing; one track per PE, NET
+// pseudo-PE and cluster-level unit) and a per-interval counter CSV for
+// plotting utilization and traffic over cycles. It finishes with a top-N
+// summary of the hottest PEs and inter-cluster links.
+//
+// Usage:
+//
+//	wstrace -app fft -c 2
+//	wstrace -app lu -threads 4 -c 4 -out lu.json -csv lu.csv -interval 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wavescalar"
+)
+
+func main() {
+	app := flag.String("app", "fft", "workload name (see wsim -list)")
+	threads := flag.Int("threads", 1, "thread count (splash2 kernels only)")
+	scale := flag.String("scale", "tiny", "workload scale: tiny, small, medium")
+	c := flag.Int("c", 1, "clusters")
+	d := flag.Int("d", 4, "domains per cluster")
+	p := flag.Int("p", 8, "PEs per domain")
+	v := flag.Int("v", 128, "instruction store entries per PE")
+	m := flag.Int("m", 128, "matching table entries per PE")
+	l1 := flag.Int("l1", 32, "L1 KB per cluster")
+	l2 := flag.Int("l2", 1, "total L2 MB")
+	k := flag.Int("k", 4, "k-loop bound")
+	out := flag.String("out", "trace.json", "Chrome trace-event JSON output path")
+	csvPath := flag.String("csv", "counters.csv", "per-interval counter CSV output path")
+	interval := flag.Uint64("interval", 1024, "counter bucket width in cycles")
+	capacity := flag.Int("cap", 1<<20, "event ring capacity (oldest events drop when full)")
+	top := flag.Int("top", 5, "entries in the hottest-PEs / hottest-links summary")
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	arch := wavescalar.ArchParams{
+		Clusters: *c, Domains: *d, PEs: *p, Virt: *v, Match: *m, L1KB: *l1, L2MB: *l2,
+	}
+	cfg := wavescalar.Baseline(arch)
+	cfg.K = *k
+	rec := wavescalar.NewTraceRecorder(wavescalar.TraceOptions{
+		Capacity: *capacity, Interval: *interval,
+	})
+	cfg.Trace = rec
+
+	fmt.Printf("tracing %s (%s scale) with %d thread(s) on %s\n",
+		*app, *scale, *threads, arch.String())
+	st, err := wavescalar.RunWorkload(cfg, *app, sc, *threads)
+	if err != nil {
+		fail(err)
+	}
+
+	if err := writeFile(*out, rec.WriteChromeTrace); err != nil {
+		fail(err)
+	}
+	if err := writeFile(*csvPath, rec.WriteCounterCSV); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("\ncycles %d, AIPC %.3f\n", st.Cycles, st.AIPC())
+	fmt.Printf("events recorded %d (dropped %d), counter interval %d cycles\n",
+		rec.Len(), rec.Dropped(), rec.Interval())
+	fmt.Printf("wrote %s and %s\n", *out, *csvPath)
+
+	fmt.Printf("\nhottest PEs (fires / stall cycles):\n")
+	for _, t := range rec.HottestPEs(*top) {
+		fmt.Printf("  C%d.D%d.PE%d  %8d fires  %8d stall cycles\n",
+			t.Cluster, t.Domain, t.PE, t.Fires, t.StallCycles)
+	}
+	links := rec.HottestLinks(*top)
+	if len(links) == 0 {
+		fmt.Printf("\nno inter-cluster traffic (single cluster or fully local run)\n")
+		return
+	}
+	fmt.Printf("\nhottest inter-cluster links (delivered messages):\n")
+	for _, l := range links {
+		fmt.Printf("  C%d -> C%d  %8d msgs\n", l.Src, l.Dst, l.Msgs)
+	}
+}
+
+// writeFile writes one sink's output to path.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseScale(s string) (wavescalar.Scale, error) {
+	switch s {
+	case "tiny":
+		return wavescalar.ScaleTiny, nil
+	case "small":
+		return wavescalar.ScaleSmall, nil
+	case "medium":
+		return wavescalar.ScaleMedium, nil
+	}
+	return wavescalar.Scale{}, fmt.Errorf("unknown scale %q (tiny, small, medium)", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wstrace:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"wavescalar/internal/noc"
+	"wavescalar/internal/trace"
 )
 
 // Config sizes the hierarchy.
@@ -32,6 +33,8 @@ type Config struct {
 	L2MB      int // total L2 capacity; 0 means no L2
 	L2Lat     int // 20 cycles plus network distance
 	MemLat    int // 200 cycles
+	// Trace, when non-nil, records L1/L2 misses and fills.
+	Trace *trace.Recorder
 }
 
 // Validate checks the configuration.
@@ -247,6 +250,9 @@ func (s *System) Access(cycle uint64, cluster int, reqID uint64, addr uint64, wr
 		// Write hit on a shared line: upgrade via the directory.
 	}
 	s.stats.L1Misses++
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.CacheMiss(cycle, cluster, 1, ln)
+	}
 	m := c.mshrs[ln]
 	if m != nil {
 		m.waiters = append(m.waiters, reqID)
@@ -321,6 +327,9 @@ func (s *System) handleDirReq(cycle uint64, bank int, r DirReq) {
 		// Not cached anywhere useful: fetch from main memory.
 		extra += uint64(s.cfg.MemLat)
 		s.stats.L2Misses++
+		if s.cfg.Trace != nil {
+			s.cfg.Trace.CacheMiss(cycle, bank, 2, r.Line)
+		}
 		if s.l2cap > 0 {
 			s.installL2(cycle, r.Line, e)
 		}
@@ -411,6 +420,9 @@ func (s *System) installL2(cycle uint64, ln uint64, e *dirEntry) {
 	}
 	e.inL2 = true
 	e.lruEl = s.l2lru.PushFront(ln)
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.CacheFill(cycle, s.Bank(ln), 2, ln)
+	}
 }
 
 // maybeDrop garbage-collects a directory entry with no cached copies.
@@ -471,6 +483,9 @@ func (s *System) fill(cycle uint64, cluster int, ln uint64, grant state) {
 	victim.tag = ln
 	victim.st = grant
 	victim.touched = cycle
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.CacheFill(cycle, cluster, 1, ln)
+	}
 }
 
 // handleInv drops or downgrades a line.

@@ -10,7 +10,11 @@
 // an 8-entry output queue.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"wavescalar/internal/trace"
+)
 
 // VC identifiers: operands ride VC 0, memory and coherence traffic VC 1.
 const (
@@ -23,6 +27,9 @@ const (
 type Config struct {
 	PortBW   int // messages per port per cycle (2 in the paper)
 	QueueCap int // entries per VC output queue (8 in the paper)
+	// Trace, when non-nil, records every delivery (with hop count and
+	// latency) and feeds the per-link accounting.
+	Trace *trace.Recorder
 }
 
 // Validate checks the configuration.
@@ -245,6 +252,9 @@ func (g *Grid) deliver(cycle uint64, port OutPort, m *Message) {
 	g.stats.Delivered++
 	g.stats.TotalHops += uint64(m.Hops)
 	g.stats.TotalLat += cycle - m.Injected + 1
+	if g.cfg.Trace != nil {
+		g.cfg.Trace.GridDeliver(cycle, m.Src, m.Dst, m.VC, m.Hops, cycle-m.Injected+1)
+	}
 	g.sink(cycle, port, m)
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"wavescalar/internal/area"
 	"wavescalar/internal/place"
+	"wavescalar/internal/trace"
 )
 
 // Config describes one WaveScalar processor configuration plus the
@@ -66,6 +67,12 @@ type Config struct {
 	// StallLimit aborts when no instruction dispatches for this many
 	// cycles (deadlock detector); 0 means a large default.
 	StallLimit uint64
+
+	// Trace, when non-nil, records cycle-level events (PE fires and
+	// stalls, matching-table activity, messages per interconnect level,
+	// cache misses/fills, store-buffer issue/commit) for the trace sinks.
+	// Nil disables tracing at zero cost on the hot path.
+	Trace *trace.Recorder
 }
 
 // Baseline returns the paper's Table 1 configuration for the given

@@ -59,6 +59,9 @@ func (d *domainUnit) tick(c uint64) {
 			target := p.domain(d.cluster, m.dst.Domain)
 			msg := d.netOutQ.popFront()
 			msg.readyAt = c + 2 // crossbar link + via
+			if p.rec != nil {
+				p.rec.NetHop(c, d.cluster, d.index, d.cluster)
+			}
 			target.netInQ.push(msg)
 			continue
 		}
@@ -68,6 +71,9 @@ func (d *domainUnit) tick(c uint64) {
 		})
 		if !ok {
 			break // grid injection backpressure; retry next cycle
+		}
+		if p.rec != nil {
+			p.rec.NetHop(c, d.cluster, d.index, m.dst.Cluster)
 		}
 		d.netOutQ.popFront()
 	}

@@ -6,6 +6,7 @@ import (
 	"wavescalar/internal/match"
 	"wavescalar/internal/place"
 	"wavescalar/internal/storebuf"
+	"wavescalar/internal/trace"
 )
 
 // inMsg is a token in flight toward a PE's INPUT stage. sentAt is the
@@ -92,6 +93,25 @@ func (pe *peUnit) enqueueIn(m inMsg) {
 	pe.inQ.push(m)
 }
 
+// insert delivers a token to the matching table, recording the insert and
+// any evictions it forced when tracing is enabled.
+func (pe *peUnit) insert(c uint64, tok isa.Token, li int, req uint8) (match.Outcome, *match.Entry) {
+	rec := pe.p.rec
+	if rec == nil {
+		return pe.mt.Insert(tok, li, req, c, uint64(pe.p.cfg.OverflowPenalty))
+	}
+	evBefore := pe.mt.Stats().Evictions
+	out, e := pe.mt.Insert(tok, li, req, c, uint64(pe.p.cfg.OverflowPenalty))
+	a := pe.addr
+	if out == match.Stored || out == match.Completed {
+		rec.MatchInsert(c, a.Cluster, a.Domain, a.PE, int32(tok.Dest.Inst))
+	}
+	if d := pe.mt.Stats().Evictions - evBefore; d > 0 {
+		rec.MatchEvict(c, a.Cluster, a.Domain, a.PE, int(d))
+	}
+	return out, e
+}
+
 // park shelves a k-rejected token until the quota can have opened.
 func (pe *peUnit) park(tok isa.Token) {
 	k := parkKey{inst: tok.Dest.Inst, thread: tok.Tag.Thread}
@@ -156,6 +176,9 @@ func (pe *peUnit) phaseComplete(c uint64) {
 		if pe.outQ.len() >= pe.p.cfg.OutQCap {
 			// Output queue full: execution backs up.
 			pe.p.stats.OutQStalls++
+			if pe.p.rec != nil {
+				pe.p.rec.PEStall(c, pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, trace.StallOutQ, 1)
+			}
 			break
 		}
 		res := pe.pending.popFront()
@@ -180,6 +203,10 @@ func (pe *peUnit) deliver(c uint64, r execResult) {
 				lvl = LevelSelf
 			}
 			pe.p.stats.Traffic[lvl][ClassOperand]++
+			if pe.p.rec != nil {
+				pe.p.rec.Message(c, int(lvl), trace.ClassOperand,
+					pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, dst.Cluster)
+			}
 			pe.p.stats.OperandLatTotal++ // bypass delivers in one cycle
 			pe.p.stats.OperandCount++
 			// Bypass: available for dispatch this very cycle at the
@@ -203,7 +230,7 @@ func (pe *peUnit) deliver(c uint64, r execResult) {
 func (pe *peUnit) acceptBypass(c uint64, tok isa.Token) {
 	li := pe.ist.LocalIndex(pe.p.istKey(tok.Tag.Thread, tok.Dest.Inst))
 	req := pe.p.required[tok.Dest.Inst]
-	out, e := pe.mt.Insert(tok, li, req, c, uint64(pe.p.cfg.OverflowPenalty))
+	out, e := pe.insert(c, tok, li, req)
 	switch out {
 	case match.Rejected:
 		pe.park(tok)
@@ -278,6 +305,10 @@ func (pe *peUnit) dispatch(c uint64, se schedEntry) {
 		pe.stallUntil = c + uint64(pe.p.cfg.InstMissPenalty)
 		se.readyAt = pe.stallUntil
 		pe.schedQ.pushFront(se)
+		if pe.p.rec != nil {
+			pe.p.rec.PEStall(c, pe.addr.Cluster, pe.addr.Domain, pe.addr.PE,
+				trace.StallIStoreMiss, pe.p.cfg.InstMissPenalty)
+		}
 		return
 	}
 	pe.execute(c, se.inst, se.tag, se.vals, schedFire, se.addrSent)
@@ -297,6 +328,10 @@ func (pe *peUnit) execute(c uint64, id isa.InstID, tag isa.Tag, vals [3]uint64, 
 		p.stats.Countable++
 	}
 	p.progress = c
+	if p.rec != nil {
+		p.rec.PEFire(c, pe.addr.Cluster, pe.addr.Domain, pe.addr.PE,
+			int32(id), isa.ExecLatency(in.Op))
+	}
 
 	done := c + uint64(isa.ExecLatency(in.Op))
 
@@ -376,10 +411,15 @@ func (pe *peUnit) phaseOutput(c uint64) {
 	d := pe.p.domain(pe.addr.Cluster, pe.addr.Domain)
 	if e.memReq != nil {
 		lvl := LevelCluster
-		if pe.p.placement.Home(e.tag.Thread) != pe.addr.Cluster {
+		home := pe.p.placement.Home(e.tag.Thread)
+		if home != pe.addr.Cluster {
 			lvl = LevelGrid
 		}
 		pe.p.stats.Traffic[lvl][ClassMemory]++
+		if pe.p.rec != nil {
+			pe.p.rec.Message(c, int(lvl), trace.ClassMemory,
+				pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, home)
+		}
 		d.memQ.push(memQEntry{readyAt: c + 1, req: e.memReq})
 		return
 	}
@@ -388,6 +428,10 @@ func (pe *peUnit) phaseOutput(c uint64) {
 		tok := isa.Token{Tag: e.tag, Value: e.value, Dest: t}
 		if dst.Cluster == pe.addr.Cluster && dst.Domain == pe.addr.Domain {
 			pe.p.stats.Traffic[LevelDomain][ClassOperand]++
+			if pe.p.rec != nil {
+				pe.p.rec.Message(c, trace.LevelDomain, trace.ClassOperand,
+					pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, dst.Cluster)
+			}
 			pe.p.pe(dst).enqueueIn(inMsg{readyAt: c + 1, sentAt: e.sentAt, tok: tok})
 			continue
 		}
@@ -396,6 +440,10 @@ func (pe *peUnit) phaseOutput(c uint64) {
 			lvl = LevelGrid
 		}
 		pe.p.stats.Traffic[lvl][ClassOperand]++
+		if pe.p.rec != nil {
+			pe.p.rec.Message(c, int(lvl), trace.ClassOperand,
+				pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, dst.Cluster)
+		}
 		d.netOutQ.push(netMsg{readyAt: c + 1, sentAt: e.sentAt, tok: tok, dst: dst})
 	}
 }
@@ -432,11 +480,15 @@ func (pe *peUnit) phaseInput(c uint64) {
 		sentAt := m.sentAt
 		li := pe.ist.LocalIndex(pe.p.istKey(tok.Tag.Thread, tok.Dest.Inst))
 		req := pe.p.required[tok.Dest.Inst]
-		out, e := pe.mt.Insert(tok, li, req, c, uint64(pe.p.cfg.OverflowPenalty))
+		out, e := pe.insert(c, tok, li, req)
 		if out == match.Rejected {
 			// k-bound: park until the table frees an entry of this
 			// instruction.
 			pe.p.stats.InputRejects++
+			if pe.p.rec != nil {
+				pe.p.rec.PEStall(c, pe.addr.Cluster, pe.addr.Domain, pe.addr.PE,
+					trace.StallReject, 1)
+			}
 			pe.inQ.remove(i)
 			pe.park(tok)
 			continue

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,20 @@ import (
 	"wavescalar/internal/noc"
 	"wavescalar/internal/place"
 	"wavescalar/internal/storebuf"
+	"wavescalar/internal/trace"
+)
+
+// Sentinel run-failure errors, matchable with errors.Is. Run wraps them
+// with the configuration limits and a machine-state dump.
+var (
+	// ErrMaxCycles means the run exceeded Config.MaxCycles.
+	ErrMaxCycles = errors.New("exceeded MaxCycles")
+	// ErrDeadlock means no instruction dispatched for Config.StallLimit
+	// cycles: the machine made no forward progress.
+	ErrDeadlock = errors.New("deadlock: no forward progress")
+	// ErrNotQuiesced means in-flight state failed to drain after all
+	// threads halted (a lost token or stuck queue).
+	ErrNotQuiesced = errors.New("post-halt drain did not quiesce")
 )
 
 // Memory is the simulator's flat functional memory (64-bit words keyed by
@@ -46,6 +61,10 @@ type Processor struct {
 	outbox  fifo[*noc.Message] // retry queue for grid injections
 	pending map[uint64]pendingMemOp
 	reqSeq  uint64
+
+	// rec is the optional event recorder (nil when tracing is off; every
+	// use is behind a nil check, so the disabled path costs one branch).
+	rec *trace.Recorder
 
 	halted     []bool
 	haltValues []uint64
@@ -87,7 +106,9 @@ func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) 
 		pending:    make(map[uint64]pendingMemOp),
 		halted:     make([]bool, threads),
 		haltValues: make([]uint64, threads),
+		rec:        cfg.Trace,
 	}
+	p.rec.Bind(cfg.Arch.Clusters, cfg.Arch.Domains, cfg.Arch.PEs)
 	for a, v := range mem {
 		p.mem[a] = v
 	}
@@ -113,16 +134,18 @@ func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) 
 			PSQs:        cfg.PSQs,
 			PSQEntries:  cfg.PSQEntries,
 			PipelineLat: cfg.SBPipeLat,
+			Cluster:     ci,
+			Trace:       cfg.Trace,
 		}, func(cycle uint64, op storebuf.Issued) {
 			p.sbIssue(cycle, ci, op)
 		}))
 	}
 	w, h := noc.DimsFor(arch.Clusters)
-	p.grid = noc.New(w, h, noc.Config{PortBW: cfg.NocBW, QueueCap: cfg.NocQCap}, p.nocSink)
+	p.grid = noc.New(w, h, noc.Config{PortBW: cfg.NocBW, QueueCap: cfg.NocQCap, Trace: cfg.Trace}, p.nocSink)
 	p.cacheSys = cache.New(cache.Config{
 		Clusters: arch.Clusters, L1KB: arch.L1KB, LineBytes: 128, L1Assoc: 4,
 		L1Lat: cfg.L1Lat, L1Ports: cfg.L1Ports, L2MB: arch.L2MB,
-		L2Lat: cfg.L2Lat, MemLat: cfg.MemLat,
+		L2Lat: cfg.L2Lat, MemLat: cfg.MemLat, Trace: cfg.Trace,
 	}, p.cacheDone, p.cacheSend)
 
 	// Bind placed instructions to their PEs' instruction stores. Each
@@ -217,6 +240,9 @@ func (p *Processor) cacheSend(cycle uint64, m *noc.Message) bool {
 			lvl = LevelCluster
 		}
 		p.stats.Traffic[lvl][ClassMemory]++
+		if p.rec != nil {
+			p.rec.Message(cycle, int(lvl), trace.ClassMemory, m.Src, trace.NoDomain, 0, m.Dst)
+		}
 	}
 	return ok
 }
@@ -263,10 +289,16 @@ func (p *Processor) respondMem(cycle uint64, cluster int, inst isa.InstID, tag i
 		tok := isa.Token{Tag: tag, Value: value, Dest: d}
 		if dst.Cluster == cluster {
 			p.stats.Traffic[LevelCluster][ClassMemory]++
+			if p.rec != nil {
+				p.rec.Message(cycle, trace.LevelCluster, trace.ClassMemory, cluster, trace.NoDomain, 0, dst.Cluster)
+			}
 			p.domain(cluster, dst.Domain).netInQ.push(netMsg{readyAt: cycle + 2, tok: tok, dst: dst})
 			continue
 		}
 		p.stats.Traffic[LevelGrid][ClassMemory]++
+		if p.rec != nil {
+			p.rec.Message(cycle, trace.LevelGrid, trace.ClassMemory, cluster, trace.NoDomain, 0, dst.Cluster)
+		}
 		p.outbox.push(&noc.Message{
 			Src: cluster, Dst: dst.Cluster, VC: noc.VCMemory,
 			Payload: operandPayload{tok: tok, dst: dst},
@@ -280,12 +312,12 @@ func (p *Processor) Run() (*Stats, error) {
 	c := uint64(0)
 	for p.haltCount < p.threads {
 		if c >= p.cfg.MaxCycles {
-			return nil, fmt.Errorf("sim: exceeded MaxCycles=%d (%d/%d threads done)",
-				p.cfg.MaxCycles, p.haltCount, p.threads)
+			return nil, fmt.Errorf("sim: %w: MaxCycles=%d (%d/%d threads done)",
+				ErrMaxCycles, p.cfg.MaxCycles, p.haltCount, p.threads)
 		}
 		if c > p.progress && c-p.progress > p.cfg.StallLimit {
-			return nil, fmt.Errorf("sim: no progress for %d cycles at cycle %d:\n%s",
-				p.cfg.StallLimit, c, p.dump())
+			return nil, fmt.Errorf("sim: %w for %d cycles at cycle %d:\n%s",
+				ErrDeadlock, p.cfg.StallLimit, c, p.dump())
 		}
 		p.tick(c)
 		c++
@@ -298,7 +330,7 @@ func (p *Processor) Run() (*Stats, error) {
 		c++
 	}
 	if !p.quiesced() {
-		return nil, fmt.Errorf("sim: post-halt drain did not quiesce:\n%s", p.dump())
+		return nil, fmt.Errorf("sim: %w:\n%s", ErrNotQuiesced, p.dump())
 	}
 	p.collect()
 	return &p.stats, nil

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"wavescalar/internal/isa"
+	"wavescalar/internal/trace"
 	"wavescalar/internal/waveorder"
 )
 
@@ -29,6 +30,10 @@ type Config struct {
 	PSQs        int // partial store queues (2 in the RTL)
 	PSQEntries  int // entries per partial store queue (4 in the RTL)
 	PipelineLat int // processing pipeline depth in cycles (3 in the RTL)
+	// Cluster identifies the owning cluster for trace attribution.
+	Cluster int
+	// Trace, when non-nil, records issue and wave-commit events.
+	Trace *trace.Recorder
 }
 
 // Validate checks the configuration. PSQs == 0 disables store decoupling
@@ -362,6 +367,9 @@ func (b *Buffer) ripple(cycle uint64, tid uint32, ts *threadState) {
 		ts.active = nil
 		b.inUse--
 		b.stats.WavesDone++
+		if b.cfg.Trace != nil {
+			b.cfg.Trace.SBCommit(cycle, b.cfg.Cluster, tid, ctx.wave)
+		}
 		ts.nextWave++
 		if _, ok := ts.spill[ts.nextWave]; ok && !ts.waiting {
 			ts.waiting = true
@@ -442,6 +450,9 @@ func (b *Buffer) emit(cycle uint64, is Issued) {
 		b.stats.IssuedStores++
 	case IssueNop:
 		b.stats.IssuedNops++
+	}
+	if b.cfg.Trace != nil {
+		b.cfg.Trace.SBIssue(cycle, b.cfg.Cluster, int(is.Kind), is.Addr)
 	}
 	b.issue(cycle, is)
 }

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event JSON sink (the chrome://tracing / Perfetto "JSON
+// Array Format"). The writer hand-formats events — the recorder can hold
+// millions, and reflection-based encoding would dominate the export time.
+//
+// Track layout: one "process" per cluster; within it one "thread" track
+// per PE (tid = domain*(PEs+1) + PE + 1), one per domain NET pseudo-PE
+// (tid = domain*(PEs+1) + PEs + 1), and three cluster-level tracks for the
+// store buffer, the cache, and the grid switch. Timestamps are cycles
+// (microseconds to the viewer; 1 cycle renders as 1us).
+
+// tids for the cluster-level tracks, placed after every domain's tracks.
+func (r *Recorder) sbTid() int    { return r.domains*(r.pes+1) + 1 }
+func (r *Recorder) cacheTid() int { return r.domains*(r.pes+1) + 2 }
+func (r *Recorder) gridTid() int  { return r.domains*(r.pes+1) + 3 }
+
+// tid maps an event to its track within the cluster's process.
+func (r *Recorder) tid(ev Event) int {
+	if ev.Domain == NoDomain {
+		switch ev.Kind {
+		case KindCacheMiss, KindCacheFill:
+			return r.cacheTid()
+		case KindGridMsg:
+			return r.gridTid()
+		default:
+			return r.sbTid()
+		}
+	}
+	return int(ev.Domain)*(r.pes+1) + int(ev.PE) + 1
+}
+
+// WriteChromeTrace writes the retained events as Chrome trace-event JSON.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Metadata: name every process and track so Perfetto labels them.
+	for c := 0; c < r.clusters; c++ {
+		emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"cluster %d"}}`, c, c)
+		for d := 0; d < r.domains; d++ {
+			for pe := 0; pe < r.pes; pe++ {
+				emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"D%d.PE%d"}}`,
+					c, d*(r.pes+1)+pe+1, d, pe)
+			}
+			emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"D%d.NET"}}`,
+				c, d*(r.pes+1)+r.pes+1, d)
+		}
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"store buffer"}}`, c, r.sbTid())
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"cache"}}`, c, r.cacheTid())
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"grid switch"}}`, c, r.gridTid())
+	}
+
+	r.Events(func(ev Event) {
+		pid := int(ev.Cluster)
+		tid := r.tid(ev)
+		switch ev.Kind {
+		case KindPEFire:
+			dur := ev.Dur
+			if dur == 0 {
+				dur = 1
+			}
+			emit(`{"name":"fire","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"inst":%d}}`,
+				ev.Cycle, dur, pid, tid, int32(uint32(ev.Arg)))
+		case KindPEStall:
+			dur := ev.Dur
+			if dur == 0 {
+				dur = 1
+			}
+			emit(`{"name":"stall:%s","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{}}`,
+				StallReason(ev.Level), ev.Cycle, dur, pid, tid)
+		case KindMatchInsert:
+			emit(`{"name":"match-insert","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"inst":%d}}`,
+				ev.Cycle, pid, tid, int32(uint32(ev.Arg)))
+		case KindMatchEvict:
+			emit(`{"name":"match-evict","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"count":%d}}`,
+				ev.Cycle, pid, tid, ev.Arg)
+		case KindMsg:
+			class := "operand"
+			if ev.Arg2 == ClassMemory {
+				class = "memory"
+			}
+			emit(`{"name":"msg:%s","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"class":"%s","dst":%d}}`,
+				LevelName(int(ev.Level)), ev.Cycle, pid, tid, class, ev.Arg)
+		case KindCacheMiss:
+			emit(`{"name":"L%d-miss","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"line":%d}}`,
+				ev.Level, ev.Cycle, pid, tid, ev.Arg)
+		case KindCacheFill:
+			emit(`{"name":"L%d-fill","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"line":%d}}`,
+				ev.Level, ev.Cycle, pid, tid, ev.Arg)
+		case KindSBIssue:
+			emit(`{"name":"sb-issue","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"kind":%d,"addr":%d}}`,
+				ev.Cycle, pid, tid, ev.Level, ev.Arg)
+		case KindSBCommit:
+			emit(`{"name":"wave-commit","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"thread":%d,"wave":%d}}`,
+				ev.Cycle, pid, tid, ev.Arg>>32, uint32(ev.Arg))
+		case KindNetHop:
+			emit(`{"name":"net-hop","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"dst":%d}}`,
+				ev.Cycle, pid, tid, ev.Arg)
+		case KindGridMsg:
+			emit(`{"name":"grid-deliver","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"hops":%d,"lat":%d,"vc":%d}}`,
+				ev.Cycle, pid, tid, ev.Arg, ev.Arg2, ev.Level)
+		default:
+			emit(`{"name":"%s","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{}}`,
+				ev.Kind, ev.Cycle, pid, tid)
+		}
+	})
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

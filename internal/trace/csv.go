@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// CounterCSVHeader is the column layout of WriteCounterCSV.
+var CounterCSVHeader = []string{
+	"cycle", "fires", "stalls",
+	"op_self", "op_pod", "op_domain", "op_cluster", "op_grid",
+	"mem_msgs", "match_inserts", "match_evicts",
+	"l1_misses", "l2_misses", "fills",
+	"sb_issues", "sb_commits",
+}
+
+// WriteCounterCSV writes the per-interval counter time series: one row per
+// Interval() cycles covering the whole run, with the bucket's starting
+// cycle in the first column.
+func (r *Recorder) WriteCounterCSV(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<14)
+	for i, h := range CounterCSVHeader {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(h)
+	}
+	bw.WriteByte('\n')
+	if r == nil {
+		return bw.Flush()
+	}
+	var buf []byte
+	field := func(v uint64, last bool) {
+		buf = strconv.AppendUint(buf[:0], v, 10)
+		bw.Write(buf)
+		if last {
+			bw.WriteByte('\n')
+		} else {
+			bw.WriteByte(',')
+		}
+	}
+	for _, iv := range r.Intervals() {
+		field(iv.Start, false)
+		field(iv.Fires, false)
+		field(iv.Stalls, false)
+		for l := 0; l < NumLevels; l++ {
+			field(iv.Msgs[l], false)
+		}
+		field(iv.MemMsgs, false)
+		field(iv.MatchInserts, false)
+		field(iv.MatchEvicts, false)
+		field(iv.L1Misses, false)
+		field(iv.L2Misses, false)
+		field(iv.Fills, false)
+		field(iv.SBIssues, false)
+		field(iv.SBCommits, true)
+	}
+	return bw.Flush()
+}

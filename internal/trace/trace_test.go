@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilRecorderIsSafeAndFree asserts the disabled fast path: every
+// recording method on a nil *Recorder is a no-op and allocates nothing,
+// which is what lets the simulator call them unconditionally from its hot
+// loop.
+func TestNilRecorderIsSafeAndFree(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Bind(1, 4, 8)
+		r.PEFire(1, 0, 0, 0, 42, 1)
+		r.PEStall(1, 0, 0, 0, StallOutQ, 1)
+		r.MatchInsert(1, 0, 0, 0, 42)
+		r.MatchEvict(1, 0, 0, 0, 2)
+		r.Message(1, LevelDomain, ClassOperand, 0, 0, 0, 0)
+		r.CacheMiss(1, 0, 1, 7)
+		r.CacheFill(1, 0, 1, 7)
+		r.SBIssue(1, 0, 0, 8)
+		r.SBCommit(1, 0, 0, 0)
+		r.NetHop(1, 0, 0, 0)
+		r.GridDeliver(1, 0, 0, 0, 1, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f times per run; want 0", allocs)
+	}
+	if r.Len() != 0 || r.Dropped() != 0 || r.Enabled() {
+		t.Fatalf("nil recorder reported state: len=%d dropped=%d enabled=%v",
+			r.Len(), r.Dropped(), r.Enabled())
+	}
+}
+
+// TestRecordingDoesNotAllocate asserts that an enabled recorder's event
+// path stays allocation-free once the ring and a bucket exist.
+func TestRecordingDoesNotAllocate(t *testing.T) {
+	r := New(Options{Capacity: 1 << 16, Interval: 1 << 30})
+	r.Bind(1, 4, 8)
+	r.PEFire(0, 0, 0, 0, 1, 1) // materialize bucket 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.PEFire(1, 0, 1, 2, 42, 1)
+		r.Message(1, LevelPod, ClassOperand, 0, 1, 2, 0)
+		r.CacheMiss(1, 0, 1, 9)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled recorder hot path allocated %.1f times per run; want 0", allocs)
+	}
+}
+
+// TestRingWrapKeepsNewest fills a small ring past capacity and checks the
+// oldest events were overwritten while aggregates kept counting.
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := New(Options{Capacity: 8, Interval: 16})
+	r.Bind(1, 1, 1)
+	for i := 0; i < 20; i++ {
+		r.PEFire(uint64(i), 0, 0, 0, int32(i), 1)
+	}
+	if r.Len() != 8 {
+		t.Fatalf("ring holds %d events, want 8", r.Len())
+	}
+	if r.Dropped() != 12 {
+		t.Fatalf("dropped %d events, want 12", r.Dropped())
+	}
+	var cycles []uint64
+	r.Events(func(ev Event) { cycles = append(cycles, ev.Cycle) })
+	for i, c := range cycles {
+		if want := uint64(12 + i); c != want {
+			t.Fatalf("event %d at cycle %d, want %d (newest must survive)", i, c, want)
+		}
+	}
+	// Aggregates never drop: the per-PE counter saw all 20 fires.
+	hot := r.HottestPEs(1)
+	if len(hot) != 1 || hot[0].Fires != 20 {
+		t.Fatalf("per-tile fire count %+v, want 20 fires", hot)
+	}
+}
+
+// TestIntervalSeries checks bucket boundaries and that trailing quiet
+// intervals still produce rows.
+func TestIntervalSeries(t *testing.T) {
+	r := New(Options{Capacity: 64, Interval: 10})
+	r.Bind(1, 1, 1)
+	r.PEFire(0, 0, 0, 0, 1, 1)
+	r.PEFire(9, 0, 0, 0, 1, 1)
+	r.PEFire(10, 0, 0, 0, 1, 1)
+	r.CacheMiss(35, 0, 1, 3) // skips buckets 2 and 3's activity
+	ivs := r.Intervals()
+	if len(ivs) != 4 {
+		t.Fatalf("got %d intervals, want 4 (cycles 0-39)", len(ivs))
+	}
+	if ivs[0].Fires != 2 || ivs[1].Fires != 1 {
+		t.Fatalf("bucket fires = %d,%d; want 2,1", ivs[0].Fires, ivs[1].Fires)
+	}
+	if ivs[2].Fires != 0 || ivs[3].L1Misses != 1 {
+		t.Fatalf("quiet/tail buckets wrong: %+v", ivs[2:])
+	}
+	for i, iv := range ivs {
+		if iv.Start != uint64(i)*10 {
+			t.Fatalf("bucket %d starts at %d, want %d", i, iv.Start, i*10)
+		}
+	}
+}
+
+// TestCounterCSV renders the series and checks the header and row count.
+func TestCounterCSV(t *testing.T) {
+	r := New(Options{Capacity: 64, Interval: 10})
+	r.Bind(1, 1, 1)
+	r.PEFire(5, 0, 0, 0, 1, 1)
+	r.Message(15, LevelGrid, ClassOperand, 0, 0, 0, 0)
+	var buf bytes.Buffer
+	if err := r.WriteCounterCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 intervals
+		t.Fatalf("got %d CSV lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if got := strings.Count(lines[0], ","); got != len(CounterCSVHeader)-1 {
+		t.Fatalf("header has %d commas, want %d", got, len(CounterCSVHeader)-1)
+	}
+	for i, line := range lines[1:] {
+		if c := strings.Count(line, ","); c != len(CounterCSVHeader)-1 {
+			t.Fatalf("row %d has %d commas, want %d", i, c, len(CounterCSVHeader)-1)
+		}
+	}
+	if !strings.HasPrefix(lines[2], "10,0,0,0,0,0,0,1,") {
+		t.Fatalf("grid operand message not in bucket 1: %s", lines[2])
+	}
+}
+
+// TestChromeTraceNilAndEmpty checks both degenerate sink cases parse.
+func TestChromeTraceNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	var nilRec *Recorder
+	if err := nilRec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil recorder trace is not valid JSON: %v", err)
+	}
+
+	buf.Reset()
+	r := New(Options{Capacity: 4, Interval: 10})
+	r.Bind(1, 1, 2)
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty recorder trace is not valid JSON: %v", err)
+	}
+}
+
+// TestHottestOrdering checks deterministic, descending summaries.
+func TestHottestOrdering(t *testing.T) {
+	r := New(Options{Capacity: 64, Interval: 10})
+	r.Bind(2, 1, 2)
+	r.PEFire(0, 0, 0, 1, 1, 1)
+	r.PEFire(1, 0, 0, 1, 1, 1)
+	r.PEFire(2, 1, 0, 0, 1, 1)
+	r.GridDeliver(3, 0, 1, 0, 1, 2)
+	r.GridDeliver(4, 0, 1, 0, 1, 2)
+	r.GridDeliver(5, 1, 0, 0, 1, 2)
+	pes := r.HottestPEs(10)
+	if len(pes) != 2 || pes[0].Cluster != 0 || pes[0].PE != 1 || pes[0].Fires != 2 {
+		t.Fatalf("hottest PEs wrong: %+v", pes)
+	}
+	links := r.HottestLinks(10)
+	if len(links) != 2 || links[0].Src != 0 || links[0].Dst != 1 || links[0].Msgs != 2 {
+		t.Fatalf("hottest links wrong: %+v", links)
+	}
+	if got := r.HottestLinks(1); len(got) != 1 {
+		t.Fatalf("top-1 returned %d links", len(got))
+	}
+}

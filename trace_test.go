@@ -1,0 +1,158 @@
+package wavescalar_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wavescalar"
+)
+
+// traceRun executes the acceptance scenario — fft on a 2-cluster machine
+// with tracing attached — and returns the recorder plus both rendered
+// sinks.
+func traceRun(t *testing.T) (*wavescalar.TraceRecorder, []byte, []byte) {
+	t.Helper()
+	arch := wavescalar.BaselineArch()
+	arch.Clusters = 2
+	cfg := wavescalar.Baseline(arch)
+	rec := wavescalar.NewTraceRecorder(wavescalar.TraceOptions{})
+	cfg.Trace = rec
+	if _, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1); err != nil {
+		t.Fatalf("traced fft run failed: %v", err)
+	}
+	var chrome, csv bytes.Buffer
+	if err := rec.WriteChromeTrace(&chrome); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if err := rec.WriteCounterCSV(&csv); err != nil {
+		t.Fatalf("WriteCounterCSV: %v", err)
+	}
+	return rec, chrome.Bytes(), csv.Bytes()
+}
+
+// chromeEvent mirrors the trace-event fields the schema test checks.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+// TestChromeTraceSchema validates the acceptance criteria on the Chrome
+// trace: it parses, every event carries ts/ph/pid/tid (metadata events
+// carry ph/pid/tid but no ts), ts is monotone non-decreasing per
+// (pid,tid) track, and the run produced at least one PE fire, one operand
+// message and one cache miss.
+func TestChromeTraceSchema(t *testing.T) {
+	_, chrome, _ := traceRun(t)
+
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Chrome trace has no events")
+	}
+
+	lastTs := map[[2]int]float64{}
+	var fires, operandMsgs, cacheMisses, metadata int
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "" {
+			t.Fatalf("event %d has no ph: %+v", i, ev)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d (%s %q) missing pid/tid", i, ev.Ph, ev.Name)
+		}
+		if ev.Ph == "M" {
+			metadata++
+			continue
+		}
+		if ev.Ts == nil {
+			t.Fatalf("event %d (%s %q) missing ts", i, ev.Ph, ev.Name)
+		}
+		track := [2]int{*ev.Pid, *ev.Tid}
+		if prev, ok := lastTs[track]; ok && *ev.Ts < prev {
+			t.Fatalf("event %d (%q) ts %v precedes %v on track pid=%d tid=%d",
+				i, ev.Name, *ev.Ts, prev, *ev.Pid, *ev.Tid)
+		}
+		lastTs[track] = *ev.Ts
+		switch {
+		case ev.Name == "fire":
+			fires++
+		case strings.HasPrefix(ev.Name, "msg:") && strings.Contains(string(ev.Args), "operand"):
+			operandMsgs++
+		case ev.Name == "L1-miss" || ev.Name == "L2-miss":
+			cacheMisses++
+		}
+	}
+	if metadata == 0 {
+		t.Error("no metadata (ph:\"M\") track-naming events")
+	}
+	if fires == 0 {
+		t.Error("no PE fire events recorded")
+	}
+	if operandMsgs == 0 {
+		t.Error("no operand message events recorded")
+	}
+	if cacheMisses == 0 {
+		t.Error("no cache miss events recorded")
+	}
+}
+
+// TestCounterCSVRows checks the CSV covers the whole run: one header plus
+// one row per interval up to the last recorded cycle.
+func TestCounterCSVRows(t *testing.T) {
+	rec, _, csv := traceRun(t)
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	wantRows := int(rec.MaxCycle()/rec.Interval()) + 1
+	if got := len(lines) - 1; got != wantRows {
+		t.Fatalf("CSV has %d data rows, want %d (maxCycle %d, interval %d)",
+			got, wantRows, rec.MaxCycle(), rec.Interval())
+	}
+	if !strings.HasPrefix(lines[0], "cycle,fires,stalls,") {
+		t.Fatalf("unexpected CSV header: %s", lines[0])
+	}
+}
+
+// TestTraceDeterminism asserts two identical traced runs produce
+// byte-identical Chrome JSON and counter CSV.
+func TestTraceDeterminism(t *testing.T) {
+	_, chrome1, csv1 := traceRun(t)
+	_, chrome2, csv2 := traceRun(t)
+	if !bytes.Equal(chrome1, chrome2) {
+		t.Error("two identical runs produced different Chrome traces")
+	}
+	if !bytes.Equal(csv1, csv2) {
+		t.Error("two identical runs produced different counter CSVs")
+	}
+}
+
+// TestTraceDisabledStatsUnchanged asserts tracing is observationally
+// transparent: the same run with and without a recorder yields identical
+// statistics.
+func TestTraceDisabledStatsUnchanged(t *testing.T) {
+	arch := wavescalar.BaselineArch()
+	arch.Clusters = 2
+	run := func(withTrace bool) *wavescalar.Stats {
+		cfg := wavescalar.Baseline(arch)
+		if withTrace {
+			cfg.Trace = wavescalar.NewTraceRecorder(wavescalar.TraceOptions{})
+		}
+		st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
+		if err != nil {
+			t.Fatalf("run (trace=%v) failed: %v", withTrace, err)
+		}
+		return st
+	}
+	plain, traced := run(false), run(true)
+	if plain.Cycles != traced.Cycles || plain.Dynamic != traced.Dynamic {
+		t.Fatalf("tracing perturbed the run: cycles %d vs %d, dynamic %d vs %d",
+			plain.Cycles, traced.Cycles, plain.Dynamic, traced.Dynamic)
+	}
+}

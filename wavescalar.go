@@ -28,6 +28,7 @@ import (
 	"wavescalar/internal/isa"
 	"wavescalar/internal/ref"
 	"wavescalar/internal/sim"
+	"wavescalar/internal/trace"
 	"wavescalar/internal/workload"
 )
 
@@ -52,6 +53,41 @@ type (
 	TrafficLevel = sim.TrafficLevel
 	TrafficClass = sim.TrafficClass
 )
+
+// Run-failure sentinels, matchable with errors.Is on the error a Run
+// returns.
+var (
+	// ErrDeadlock means the machine made no forward progress for
+	// Config.StallLimit cycles.
+	ErrDeadlock = sim.ErrDeadlock
+	// ErrNotQuiesced means in-flight state failed to drain after all
+	// threads halted.
+	ErrNotQuiesced = sim.ErrNotQuiesced
+	// ErrMaxCycles means the run exceeded Config.MaxCycles.
+	ErrMaxCycles = sim.ErrMaxCycles
+)
+
+// Tracing types: the cycle-level observability layer (internal/trace).
+type (
+	// TraceRecorder collects typed cycle-level events; attach one via
+	// Config.Trace. A nil recorder disables tracing at zero cost.
+	TraceRecorder = trace.Recorder
+	// TraceOptions sizes a recorder (ring capacity, counter interval).
+	TraceOptions = trace.Options
+	// TraceEvent is one recorded occurrence.
+	TraceEvent = trace.Event
+	// TraceInterval is one bucket of the counter time series.
+	TraceInterval = trace.Interval
+	// TraceTileCount and TraceLinkCount are the hot-spot summary rows.
+	TraceTileCount = trace.TileCount
+	TraceLinkCount = trace.LinkCount
+)
+
+// NewTraceRecorder creates an event recorder. Attach it to Config.Trace,
+// run, then export with WriteChromeTrace (Perfetto-loadable JSON) and
+// WriteCounterCSV (per-interval utilization/traffic time series), or
+// query HottestPEs / HottestLinks.
+func NewTraceRecorder(opt TraceOptions) *TraceRecorder { return trace.New(opt) }
 
 // Traffic levels and classes (Figure 8 categories).
 const (
