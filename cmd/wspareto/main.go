@@ -1,7 +1,7 @@
 // Command wspareto performs the paper's design-space Pareto analysis
 // (Figures 6 and 7, Table 5): it enumerates the viable WaveScalar designs,
-// simulates a benchmark suite on each, and prints the area/AIPC series and
-// the Pareto frontier.
+// simulates a benchmark suite on each through the exploration engine, and
+// prints the area/AIPC series and the Pareto frontier.
 //
 // Usage:
 //
@@ -9,13 +9,28 @@
 //	wspareto -suite spec2000                      # Figure 6 (single-threaded)
 //	wspareto -suite splash2 -scaling              # Figure 7 analysis
 //	wspareto -suite splash2 -max 20               # subsample the space
+//
+// Long sweeps are checkpointable: -journal appends every completed
+// (design, workload) cell to a JSONL file as it finishes, and a rerun
+// with -resume replays the journal and simulates only the missing cells,
+// so Ctrl-C or a crash loses at most the cells in flight:
+//
+//	wspareto -suite splash2 -journal sweep.jsonl           # start
+//	wspareto -suite splash2 -journal sweep.jsonl -resume   # continue
+//
+// -timeout bounds the run; an interrupted or timed-out sweep exits with
+// status 3 after flushing the journal.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"time"
 
 	"wavescalar"
 	"wavescalar/internal/design"
@@ -26,9 +41,18 @@ func main() {
 	scale := flag.String("scale", "tiny", "workload scale: tiny, small, medium")
 	scaling := flag.Bool("scaling", false, "run the Figure 7 scaled-design analysis")
 	maxPoints := flag.Int("max", 0, "evaluate at most this many designs (0 = all)")
+	maxApps := flag.Int("maxapps", 0, "evaluate at most this many workloads (0 = all)")
 	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	csvPath := flag.String("csv", "", "also write the sweep results to this CSV file")
+	journalPath := flag.String("journal", "", "append completed cells to this JSONL journal")
+	resume := flag.Bool("resume", false, "replay the journal first and simulate only missing cells")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
 	flag.Parse()
+
+	if *resume && *journalPath == "" {
+		fail(errors.New("-resume requires -journal"))
+	}
 
 	sc, err := parseScale(*scale)
 	if err != nil {
@@ -38,6 +62,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *maxApps > 0 && *maxApps < len(apps) {
+		apps = apps[:*maxApps]
+	}
 
 	points := wavescalar.ViableDesigns()
 	if *maxPoints > 0 && *maxPoints < len(points) {
@@ -46,9 +73,55 @@ func main() {
 	fmt.Printf("evaluating %d designs on %s (%d apps, scale %s, threads %v)\n\n",
 		len(points), st, len(apps), *scale, threads)
 
-	results := wavescalar.Sweep(points, apps, wavescalar.SweepOptions{
-		Scale: sc, ThreadCounts: threads, Parallelism: *par,
-	})
+	// Ctrl-C cancels the sweep; completed cells are already journaled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []wavescalar.ExploreOption{
+		wavescalar.WithScale(sc),
+		wavescalar.WithThreadCounts(threads...),
+	}
+	if *par > 0 {
+		opts = append(opts, wavescalar.WithParallelism(*par))
+	}
+	if *journalPath != "" {
+		opts = append(opts, wavescalar.WithJournal(*journalPath, *resume))
+	}
+	if !*quiet {
+		opts = append(opts, wavescalar.WithProgress(progressPrinter()))
+	}
+	exp, err := wavescalar.NewExplorer(opts...)
+	if err != nil {
+		fail(err)
+	}
+	defer exp.Close()
+	if *resume {
+		fmt.Fprintf(os.Stderr, "resumed %d journaled cells from %s\n", exp.Resumed(), *journalPath)
+	}
+
+	results, sweepErr := exp.Sweep(ctx, points, apps)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if p := exp.LastProgress(); p.Total > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d cells (%d cached, %d simulated, %d failed) in %s\n",
+			p.Done, p.Total, p.CacheHits, p.Simulated, p.Failed, p.Elapsed.Round(time.Millisecond))
+	}
+	if sweepErr != nil {
+		if err := exp.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wspareto: closing journal:", err)
+		}
+		fmt.Fprintln(os.Stderr, "wspareto:", sweepErr)
+		if *journalPath != "" {
+			fmt.Fprintf(os.Stderr, "wspareto: completed cells are journaled; rerun with -journal %s -resume to continue\n", *journalPath)
+		}
+		os.Exit(3)
+	}
 
 	fmt.Println("Figure 6 series (area mm2, mean AIPC, per-app AIPC):")
 	for _, r := range results {
@@ -96,17 +169,36 @@ func main() {
 	}
 
 	if *scaling {
-		runScaling(results, apps, sc, threads, *par)
+		runScaling(ctx, exp, results, apps)
 	}
 }
 
-func runScaling(results []wavescalar.SweepResult, apps []wavescalar.Workload,
-	sc wavescalar.Scale, threads []int, par int) {
+// progressPrinter returns a WithProgress callback that repaints one
+// status line on stderr, throttled so huge sweeps aren't I/O bound.
+func progressPrinter() func(wavescalar.ExploreProgress) {
+	var last time.Time
+	return func(p wavescalar.ExploreProgress) {
+		if time.Since(last) < 200*time.Millisecond && p.Done != p.Total {
+			return
+		}
+		last = time.Now()
+		eta := "--"
+		if p.ETA > 0 {
+			eta = p.ETA.Round(time.Second).String()
+		}
+		fmt.Fprintf(os.Stderr, "\r%d/%d cells | %d cached | %d simulated | %.1f cells/s | ETA %-8s",
+			p.Done, p.Total, p.CacheHits, p.Simulated, p.CellsPerSec, eta)
+	}
+}
+
+func runScaling(ctx context.Context, exp *wavescalar.Explorer,
+	results []wavescalar.SweepResult, apps []wavescalar.Workload) {
 	plan, err := design.ScalingPlan(results)
 	if err != nil {
 		fail(err)
 	}
-	// Measure the replicated designs that have no AIPC yet.
+	// Measure the replicated designs that have no AIPC yet; the explorer's
+	// cache means any overlap with the main sweep is free.
 	var toRun []wavescalar.DesignPoint
 	var idx []int
 	for i, p := range plan {
@@ -115,9 +207,10 @@ func runScaling(results []wavescalar.SweepResult, apps []wavescalar.Workload,
 			idx = append(idx, i)
 		}
 	}
-	runs := wavescalar.Sweep(toRun, apps, wavescalar.SweepOptions{
-		Scale: sc, ThreadCounts: threads, Parallelism: par,
-	})
+	runs, err := exp.Sweep(ctx, toRun, apps)
+	if err != nil {
+		fail(err)
+	}
 	for j, r := range runs {
 		if r.Err != nil {
 			fail(r.Err)

@@ -1,16 +1,21 @@
 // Command wstune reproduces Table 4: the per-application matching-table
-// tuning (k_opt, u_opt, virtualization ratio).
+// tuning (k_opt, u_opt, virtualization ratio), run through the
+// exploration engine so completed tunings can be journaled and resumed.
 //
 // Usage:
 //
 //	wstune                 # tune every bundled workload
 //	wstune -app gzip       # tune one
+//	wstune -journal t.jsonl -resume   # skip already-journaled workloads
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"wavescalar"
 )
@@ -18,7 +23,14 @@ import (
 func main() {
 	app := flag.String("app", "", "tune only this workload")
 	scale := flag.String("scale", "tiny", "workload scale: tiny, small, medium")
+	journalPath := flag.String("journal", "", "append completed tunings to this JSONL journal")
+	resume := flag.Bool("resume", false, "replay the journal first and tune only missing workloads")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	flag.Parse()
+
+	if *resume && *journalPath == "" {
+		fail(errors.New("-resume requires -journal"))
+	}
 
 	opt := wavescalar.DefaultTuneOptions()
 	switch *scale {
@@ -43,18 +55,56 @@ func main() {
 		apps = wavescalar.Workloads()
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []wavescalar.ExploreOption{wavescalar.WithScale(opt.Scale)}
+	if *journalPath != "" {
+		opts = append(opts, wavescalar.WithJournal(*journalPath, *resume))
+	}
+	exp, err := wavescalar.NewExplorer(opts...)
+	if err != nil {
+		fail(err)
+	}
+	defer exp.Close()
+	if *resume {
+		fmt.Fprintf(os.Stderr, "resumed %d journaled records from %s\n", exp.Resumed(), *journalPath)
+	}
+
 	fmt.Println("Table 4: matching-table tuning (k_opt on an infinite table;")
 	fmt.Println("u_opt with V=256 and M = V*k_opt/u; ratio = k_opt/u_opt)")
 	fmt.Println()
 	fmt.Printf("%-12s %6s %6s %12s\n", "application", "u_opt", "k_opt", "virt. ratio")
 	var tunings []wavescalar.Tuning
+	cached := 0
 	for _, w := range apps {
-		tn, err := wavescalar.TuneMatchingTable(w, opt)
+		tn, hit, err := exp.Tune(ctx, w, opt)
 		if err != nil {
-			fail(fmt.Errorf("%s: %w", w.Name, err))
+			if ctx.Err() != nil {
+				if cerr := exp.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "wstune: closing journal:", cerr)
+				}
+				fmt.Fprintln(os.Stderr, "wstune:", err)
+				if *journalPath != "" {
+					fmt.Fprintf(os.Stderr, "wstune: completed tunings are journaled; rerun with -journal %s -resume to continue\n", *journalPath)
+				}
+				os.Exit(3)
+			}
+			fail(err)
+		}
+		if hit {
+			cached++
 		}
 		tunings = append(tunings, tn)
 		fmt.Printf("%-12s %6d %6d %12.2f\n", tn.App, tn.UOpt, tn.KOpt, tn.Ratio)
+	}
+	if cached > 0 {
+		fmt.Fprintf(os.Stderr, "wstune: %d of %d tunings served from the journal/cache\n", cached, len(apps))
 	}
 	if len(tunings) > 1 {
 		max := tunings[0].Ratio

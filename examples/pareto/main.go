@@ -2,10 +2,15 @@
 // handful of viable designs spanning the area range, measure a workload on
 // each, and print the area/performance frontier.
 //
+// The sweep runs through the exploration engine (NewExplorer), so it is
+// cancellable and its results are cached — rerun the measurement loop and
+// every cell comes back from the cache without simulating.
+//
 //	go run ./examples/pareto
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,10 +39,25 @@ func main() {
 	apps := []wavescalar.Workload{fftW, oceanW}
 
 	fmt.Println("\nmeasuring fft and ocean with the best thread count per design...")
-	results := wavescalar.Sweep(points, apps, wavescalar.SweepOptions{
-		Scale:        wavescalar.ScaleTiny,
-		ThreadCounts: []int{1, 4, 16, 64},
-	})
+	exp, err := wavescalar.NewExplorer(
+		wavescalar.WithScale(wavescalar.ScaleTiny),
+		wavescalar.WithThreadCounts(1, 4, 16, 64),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := exp.Sweep(context.Background(), points, apps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The second pass is free: every cell hits the explorer's cache.
+	if _, err := exp.Sweep(context.Background(), points, apps); err != nil {
+		log.Fatal(err)
+	}
+	if p := exp.LastProgress(); p.Simulated == 0 {
+		fmt.Printf("(re-sweep served %d/%d cells from the result cache)\n", p.CacheHits, p.Total)
+	}
 
 	fmt.Printf("\n%-38s %9s %7s\n", "design", "area mm2", "AIPC")
 	for _, r := range results {

@@ -1,0 +1,157 @@
+package wavescalar_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"wavescalar"
+)
+
+// TestRunWorkloadContextMatchesDeprecated pins the API redesign contract:
+// the functional-options form and the deprecated positional form produce
+// identical results.
+func TestRunWorkloadContextMatchesDeprecated(t *testing.T) {
+	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
+	old, err := wavescalar.RunWorkload(cfg, "gzip", wavescalar.ScaleTiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := wavescalar.RunWorkloadContext(context.Background(), "gzip",
+		wavescalar.WithConfig(cfg), wavescalar.AtScale(wavescalar.ScaleTiny), wavescalar.WithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.AIPC() != neu.AIPC() || old.Cycles != neu.Cycles {
+		t.Errorf("deprecated and option forms diverge: AIPC %v vs %v, cycles %d vs %d",
+			old.AIPC(), neu.AIPC(), old.Cycles, neu.Cycles)
+	}
+
+	// Defaults: no options means baseline config, tiny scale, one thread.
+	def, err := wavescalar.RunWorkloadContext(context.Background(), "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.AIPC() != old.AIPC() {
+		t.Errorf("default options AIPC %v != explicit baseline %v", def.AIPC(), old.AIPC())
+	}
+}
+
+func TestRunWorkloadContextValidation(t *testing.T) {
+	_, err := wavescalar.RunWorkloadContext(context.Background(), "gzip", wavescalar.WithThreads(0))
+	if !errors.Is(err, wavescalar.ErrBadOptions) {
+		t.Errorf("zero threads: error = %v, want ErrBadOptions", err)
+	}
+	_, err = wavescalar.RunWorkloadContext(context.Background(), "gzip", wavescalar.AtScale(wavescalar.Scale{}))
+	if !errors.Is(err, wavescalar.ErrBadOptions) {
+		t.Errorf("degenerate scale: error = %v, want ErrBadOptions", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = wavescalar.RunWorkloadContext(ctx, "gzip")
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run: error = %v, want context.Canceled", err)
+	}
+}
+
+func TestBuildProcessorMatchesNewProcessor(t *testing.T) {
+	w, err := wavescalar.WorkloadByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(wavescalar.ScaleTiny)
+	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
+
+	oldProc, err := wavescalar.NewProcessor(cfg, inst.Prog, inst.Params(1), wavescalar.Memory(inst.Mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStats, err := oldProc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newProc, err := wavescalar.BuildProcessor(inst.Prog,
+		wavescalar.ProcConfig(cfg),
+		wavescalar.ProcParams(inst.Params(1)...),
+		wavescalar.ProcMemory(wavescalar.Memory(inst.Mem)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newStats, err := newProc.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldStats.AIPC() != newStats.AIPC() || oldStats.Cycles != newStats.Cycles {
+		t.Errorf("BuildProcessor diverges from NewProcessor: AIPC %v vs %v",
+			newStats.AIPC(), oldStats.AIPC())
+	}
+}
+
+// TestNewExplorerRootAPI drives the re-exported engine end to end: sweep,
+// journal, resume, and agreement with the deprecated one-shot Sweep.
+func TestNewExplorerRootAPI(t *testing.T) {
+	points := wavescalar.ViableDesigns()[:2]
+	w, err := wavescalar.WorkloadByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []wavescalar.Workload{w}
+	journal := filepath.Join(t.TempDir(), "root.jsonl")
+
+	var lastProg wavescalar.ExploreProgress
+	exp, err := wavescalar.NewExplorer(
+		wavescalar.WithJournal(journal, false),
+		wavescalar.WithScale(wavescalar.ScaleTiny),
+		wavescalar.WithThreadCounts(1),
+		wavescalar.WithParallelism(2),
+		wavescalar.WithCache(wavescalar.NewExploreCache()),
+		wavescalar.WithProgress(func(p wavescalar.ExploreProgress) { lastProg = p }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exp.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lastProg.Done != len(points) || lastProg.Simulated != len(points) {
+		t.Errorf("progress = %+v, want %d cells simulated", lastProg, len(points))
+	}
+
+	want := wavescalar.Sweep(points, apps, wavescalar.SweepOptions{
+		Scale: wavescalar.ScaleTiny, ThreadCounts: []int{1},
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("explorer results differ from deprecated Sweep:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Resume from the journal: zero simulations.
+	exp2, err := wavescalar.NewExplorer(wavescalar.WithJournal(journal, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp2.Close()
+	again, err := exp2.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := exp2.LastProgress(); p.Simulated != 0 {
+		t.Errorf("resumed root sweep simulated %d cells, want 0", p.Simulated)
+	}
+	if !reflect.DeepEqual(again, got) {
+		t.Error("resumed root sweep results differ")
+	}
+
+	if !errors.Is(mustErr(wavescalar.NewExplorer(wavescalar.WithParallelism(-3))), wavescalar.ErrBadOptions) {
+		t.Error("NewExplorer accepted a negative parallelism")
+	}
+}
+
+func mustErr[T any](_ T, err error) error { return err }

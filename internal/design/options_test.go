@@ -1,0 +1,137 @@
+package design
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+func TestSweepContextRejectsBadOptions(t *testing.T) {
+	pts := Viable()[:1]
+	apps := []workload.Workload{mustWorkload(t, "gzip")}
+	cases := map[string]SweepOptions{
+		"zero scale":           {ThreadCounts: []int{1}},
+		"empty thread counts":  {Scale: workload.Tiny},
+		"zero thread count":    {Scale: workload.Tiny, ThreadCounts: []int{0}},
+		"negative thread":      {Scale: workload.Tiny, ThreadCounts: []int{-2}},
+		"negative parallelism": {Scale: workload.Tiny, ThreadCounts: []int{1}, Parallelism: -1},
+	}
+	for name, opt := range cases {
+		if _, err := SweepContext(context.Background(), pts, apps, opt); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s: error = %v, want ErrBadOptions", name, err)
+		}
+	}
+	// A valid option set passes.
+	if _, err := SweepContext(context.Background(), pts, apps,
+		SweepOptions{Scale: workload.Tiny, ThreadCounts: []int{1}}); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestTuneContextRejectsBadOptions(t *testing.T) {
+	w := mustWorkload(t, "gzip")
+	base := DefaultTuneOptions()
+	mutate := map[string]func(*TuneOptions){
+		"zero scale":    func(o *TuneOptions) { o.Scale = workload.Scale{} },
+		"empty Ks":      func(o *TuneOptions) { o.Ks = nil },
+		"empty Us":      func(o *TuneOptions) { o.Us = nil },
+		"descending Ks": func(o *TuneOptions) { o.Ks = []int{4, 2, 1} },
+		"zero K":        func(o *TuneOptions) { o.Ks = []int{0, 1} },
+		"zero Tol":      func(o *TuneOptions) { o.Tol = 0 },
+		"Tol >= 1":      func(o *TuneOptions) { o.Tol = 1.5 },
+	}
+	for name, mut := range mutate {
+		opt := base
+		mut(&opt)
+		if _, err := TuneContext(context.Background(), w, opt); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s: error = %v, want ErrBadOptions", name, err)
+		}
+	}
+}
+
+// TestConfigureFuncShared pins the satellite requirement that sweep and
+// tune options share one ConfigureFunc type.
+func TestConfigureFuncShared(t *testing.T) {
+	var fn ConfigureFunc = func(p Point) sim.Config {
+		cfg := sim.Baseline(p.Arch)
+		cfg.K = 2
+		return cfg
+	}
+	so := SweepOptions{Scale: workload.Tiny, ThreadCounts: []int{1}, Configure: fn}
+	to := TuneOptions{Scale: workload.Tiny, Ks: []int{1, 2}, Us: []int{1, 2}, Tol: 0.05, Configure: fn}
+	if err := so.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := to.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestThreadsErrorNamesWorkloadAndJoinsFailures(t *testing.T) {
+	w := mustWorkload(t, "gzip")
+	inst := w.Build(workload.Tiny)
+	cfg := sim.Baseline(sim.BaselineArch())
+	cfg.MaxCycles = 100 // every run deterministically exceeds this
+
+	_, _, err := BestThreads(cfg, inst, []int{1})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !errors.Is(err, sim.ErrMaxCycles) {
+		t.Errorf("per-count cause not joined: %v", err)
+	}
+	for _, want := range []string{"gzip", "threads=1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// No counts within the workload's thread limit: named, no join.
+	_, _, err = BestThreads(sim.Baseline(sim.BaselineArch()), inst, []int{16})
+	if err == nil || !strings.Contains(err.Error(), "gzip") {
+		t.Errorf("limit error does not name the workload: %v", err)
+	}
+}
+
+func TestBestThreadsSurvivesPartialFailures(t *testing.T) {
+	w := mustWorkload(t, "fft")
+	inst := w.Build(workload.Tiny)
+	arch := sim.BaselineArch()
+	arch.Clusters = 4
+	cfg := sim.Baseline(arch)
+	// 1 thread succeeds; 1024 is over the instance's thread limit and is
+	// skipped — the search must still return the viable count.
+	aipc, n, err := BestThreads(cfg, inst, []int{1, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || aipc <= 0 {
+		t.Errorf("best = (%v, %d)", aipc, n)
+	}
+}
+
+func TestRunOnceContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := mustWorkload(t, "gzip")
+	inst := w.Build(workload.Tiny)
+	_, err := RunOnceContext(ctx, sim.Baseline(sim.BaselineArch()), inst, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pts := Viable()[:2]
+	apps := []workload.Workload{mustWorkload(t, "gzip")}
+	_, err := SweepContext(ctx, pts, apps, SweepOptions{Scale: workload.Tiny, ThreadCounts: []int{1}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}

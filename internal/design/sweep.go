@@ -1,7 +1,9 @@
 package design
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -12,14 +14,51 @@ import (
 	"wavescalar/internal/workload"
 )
 
+// ErrBadOptions is the sentinel wrapped by the validating entry points
+// (SweepContext, TuneContext and the explore engine) when their options
+// are malformed. Match it with errors.Is. The deprecated non-context
+// entry points keep their historical silent defaulting for
+// compatibility.
+var ErrBadOptions = errors.New("design: bad options")
+
+// ConfigureFunc adapts the baseline microarchitecture to one design
+// point (e.g. setting K, or an ablation knob). SweepOptions and
+// TuneOptions share this type, so one configuration policy serves both
+// the Pareto sweep and the Table 4 tuning procedure.
+type ConfigureFunc func(p Point) sim.Config
+
+// BaselineConfigure is the default ConfigureFunc: the paper's Table 1
+// microarchitecture on the point's architectural parameters.
+func BaselineConfigure(p Point) sim.Config { return sim.Baseline(p.Arch) }
+
 // RunOnce executes a workload instance on a configuration with the given
 // thread count and returns the run statistics.
 func RunOnce(cfg sim.Config, inst *workload.Instance, threads int) (*sim.Stats, error) {
+	return RunOnceContext(context.Background(), cfg, inst, threads)
+}
+
+// RunOnceContext is RunOnce with cancellation: the simulation aborts
+// within a few thousand cycles of ctx ending.
+func RunOnceContext(ctx context.Context, cfg sim.Config, inst *workload.Instance, threads int) (*sim.Stats, error) {
 	proc, err := sim.New(cfg, inst.Prog, inst.Params(threads), sim.Memory(inst.Mem))
 	if err != nil {
 		return nil, err
 	}
-	return proc.Run()
+	return proc.RunContext(ctx)
+}
+
+// BestRun is the outcome of a best-thread-count search: the winning
+// AIPC/thread count plus how much simulation it took to find it (the
+// explore engine's progress accounting reads these).
+type BestRun struct {
+	AIPC    float64
+	Threads int
+	// Cycles is the winning run's simulated length.
+	Cycles uint64
+	// SimCycles totals simulated cycles across every thread count tried.
+	SimCycles uint64
+	// Sims counts the simulations performed.
+	Sims int
 }
 
 // BestThreads runs the instance at each thread count and returns the best
@@ -27,23 +66,50 @@ func RunOnce(cfg sim.Config, inst *workload.Instance, threads int) (*sim.Stats, 
 // with a range of thread counts and report results for the
 // best-performing thread count".
 func BestThreads(cfg sim.Config, inst *workload.Instance, counts []int) (float64, int, error) {
-	bestAIPC, bestN := 0.0, 0
+	br, err := BestThreadsContext(context.Background(), cfg, inst, counts)
+	if err != nil {
+		return 0, 0, err
+	}
+	return br.AIPC, br.Threads, nil
+}
+
+// BestThreadsContext is the context-aware form of BestThreads. Thread
+// counts that fail (deadlock, cycle limit) no longer abort the search:
+// the search continues, and only if no count is viable does it return an
+// error naming the workload and joining every per-count failure.
+func BestThreadsContext(ctx context.Context, cfg sim.Config, inst *workload.Instance, counts []int) (BestRun, error) {
+	var best BestRun
+	var errs []error
 	for _, n := range counts {
 		if n > inst.MaxThreads {
 			continue
 		}
-		st, err := RunOnce(cfg, inst, n)
+		if err := ctx.Err(); err != nil {
+			return BestRun{}, err
+		}
+		st, err := RunOnceContext(ctx, cfg, inst, n)
 		if err != nil {
-			return 0, 0, fmt.Errorf("threads=%d: %w", n, err)
+			if ctx.Err() != nil {
+				return BestRun{}, err
+			}
+			errs = append(errs, fmt.Errorf("threads=%d: %w", n, err))
+			continue
 		}
-		if a := st.AIPC(); a > bestAIPC {
-			bestAIPC, bestN = a, n
+		best.Sims++
+		best.SimCycles += st.Cycles
+		if a := st.AIPC(); a > best.AIPC {
+			best.AIPC, best.Threads, best.Cycles = a, n, st.Cycles
 		}
 	}
-	if bestN == 0 {
-		return 0, 0, fmt.Errorf("no viable thread count")
+	if best.Threads == 0 {
+		if len(errs) > 0 {
+			return BestRun{}, fmt.Errorf("design: no viable thread count for %q: %w",
+				inst.Prog.Name, errors.Join(errs...))
+		}
+		return BestRun{}, fmt.Errorf("design: no viable thread count for %q: none of %v within the workload's limit of %d threads",
+			inst.Prog.Name, counts, inst.MaxThreads)
 	}
-	return bestAIPC, bestN, nil
+	return best, nil
 }
 
 // SweepResult is one design point's measured performance across a suite.
@@ -66,23 +132,66 @@ type SweepOptions struct {
 	ThreadCounts []int // for multithreaded workloads; {1} for single-threaded
 	Parallelism  int   // concurrent simulations; 0 = GOMAXPROCS
 	// Configure adapts the baseline microarchitecture per design (e.g.,
-	// setting K); nil uses sim.Baseline.
-	Configure func(p Point) sim.Config
+	// setting K); nil uses BaselineConfigure.
+	Configure ConfigureFunc
+}
+
+// Validate reports whether the options are usable, wrapping ErrBadOptions
+// on failure. SweepContext (and the explore engine) validate eagerly; the
+// deprecated Sweep keeps its historical defaulting.
+func (o SweepOptions) Validate() error {
+	if o.Scale.Iters <= 0 || o.Scale.Footprint <= 0 {
+		return fmt.Errorf("%w: scale %+v (Iters and Footprint must be positive; use workload.Tiny/Small/Medium)",
+			ErrBadOptions, o.Scale)
+	}
+	if len(o.ThreadCounts) == 0 {
+		return fmt.Errorf("%w: ThreadCounts is empty (use []int{1} for single-threaded suites)", ErrBadOptions)
+	}
+	for _, n := range o.ThreadCounts {
+		if n <= 0 {
+			return fmt.Errorf("%w: thread count %d must be positive", ErrBadOptions, n)
+		}
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("%w: Parallelism %d must be non-negative (0 means GOMAXPROCS)", ErrBadOptions, o.Parallelism)
+	}
+	return nil
 }
 
 // Sweep evaluates every design point on every workload. Individual
 // simulations are deterministic; the sweep runs them concurrently and
 // reassembles results in input order.
+//
+// Deprecated: use SweepContext, which validates its options and supports
+// cancellation, or the explore engine for caching and resume. Sweep keeps
+// the historical behaviour of silently defaulting empty ThreadCounts to
+// {1}.
 func Sweep(points []Point, apps []workload.Workload, opt SweepOptions) []SweepResult {
-	if opt.Parallelism <= 0 {
-		opt.Parallelism = runtime.GOMAXPROCS(0)
-	}
 	if len(opt.ThreadCounts) == 0 {
 		opt.ThreadCounts = []int{1}
 	}
+	results, _ := sweep(context.Background(), points, apps, opt)
+	return results
+}
+
+// SweepContext evaluates every design point on every workload, validating
+// opt eagerly (errors wrap ErrBadOptions) and honouring ctx: on
+// cancellation it returns the partial results computed so far together
+// with an error wrapping ctx's cause.
+func SweepContext(ctx context.Context, points []Point, apps []workload.Workload, opt SweepOptions) ([]SweepResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return sweep(ctx, points, apps, opt)
+}
+
+func sweep(ctx context.Context, points []Point, apps []workload.Workload, opt SweepOptions) ([]SweepResult, error) {
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	configure := opt.Configure
 	if configure == nil {
-		configure = func(p Point) sim.Config { return sim.Baseline(p.Arch) }
+		configure = BaselineConfigure
 	}
 
 	// Build instances once; they are read-only during simulation (the
@@ -110,14 +219,14 @@ func Sweep(points []Point, apps []workload.Workload, opt SweepOptions) []SweepRe
 				cfg := configure(pt)
 				sum := 0.0
 				for ai, app := range apps {
-					aipc, n, err := BestThreads(cfg, instances[ai], opt.ThreadCounts)
+					br, err := BestThreadsContext(ctx, cfg, instances[ai], opt.ThreadCounts)
 					if err != nil {
 						res.Err = fmt.Errorf("%s on %s: %w", app.Name, pt.Arch, err)
 						break
 					}
-					res.AIPC[app.Name] = aipc
-					res.Threads[app.Name] = n
-					sum += aipc
+					res.AIPC[app.Name] = br.AIPC
+					res.Threads[app.Name] = br.Threads
+					sum += br.AIPC
 				}
 				if res.Err == nil {
 					res.Mean = sum / float64(len(apps))
@@ -126,12 +235,20 @@ func Sweep(points []Point, apps []workload.Workload, opt SweepOptions) []SweepRe
 			}
 		}()
 	}
+dispatch:
 	for i := range points {
-		jobs <- job{pi: i}
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case jobs <- job{pi: i}:
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return results
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("design: sweep cancelled: %w", err)
+	}
+	return results, nil
 }
 
 // Frontier extracts the Pareto frontier from sweep results (failed points

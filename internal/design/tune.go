@@ -1,6 +1,11 @@
 package design
 
 import (
+	"context"
+	"fmt"
+	"sort"
+
+	"wavescalar/internal/area"
 	"wavescalar/internal/sim"
 	"wavescalar/internal/workload"
 )
@@ -23,6 +28,35 @@ type TuneOptions struct {
 	// Tol is the relative AIPC tolerance: k_opt is the smallest k within
 	// Tol of the best, u_opt the largest u not losing more than Tol.
 	Tol float64
+	// Configure overrides the tuning machine: it receives TunePoint()
+	// (the narrow single-pod tuning configuration) and returns the base
+	// config the k/u sweeps perturb; nil uses BaselineConfigure. It is
+	// the same ConfigureFunc type SweepOptions uses.
+	Configure ConfigureFunc
+}
+
+// Validate reports whether the options are usable, wrapping ErrBadOptions
+// on failure. TuneContext (and the explore engine) validate eagerly.
+func (o TuneOptions) Validate() error {
+	if o.Scale.Iters <= 0 || o.Scale.Footprint <= 0 {
+		return fmt.Errorf("%w: scale %+v (Iters and Footprint must be positive; use workload.Tiny/Small/Medium)",
+			ErrBadOptions, o.Scale)
+	}
+	for name, vals := range map[string][]int{"Ks": o.Ks, "Us": o.Us} {
+		if len(vals) == 0 {
+			return fmt.Errorf("%w: %s is empty", ErrBadOptions, name)
+		}
+		if vals[0] <= 0 {
+			return fmt.Errorf("%w: %s must be positive, got %d", ErrBadOptions, name, vals[0])
+		}
+		if !sort.IntsAreSorted(vals) {
+			return fmt.Errorf("%w: %s %v must be ascending", ErrBadOptions, name, vals)
+		}
+	}
+	if o.Tol <= 0 || o.Tol >= 1 {
+		return fmt.Errorf("%w: Tol %v must be in (0, 1)", ErrBadOptions, o.Tol)
+	}
+	return nil
 }
 
 // DefaultTuneOptions mirrors the paper's procedure: raise k on an
@@ -37,38 +71,50 @@ func DefaultTuneOptions() TuneOptions {
 	}
 }
 
-// tuneArch is the machine used for tuning: a single pod (one domain of
+// TunePoint is the machine used for tuning: a single pod (one domain of
 // two PEs) with the largest instruction stores the RTL supports (V=256).
 // The narrow machine concentrates each program's instances onto few
 // matching tables, which is the regime the paper's thousands-of-
 // instructions binaries put a full cluster in; a full cluster would leave
 // our (smaller) kernels with only a handful of instructions per PE and
 // every sweep point flat.
-func tuneArch() sim.Config {
+func TunePoint() Point {
 	arch := sim.BaselineArch()
 	arch.Domains = 1
 	arch.PEs = 2
 	arch.Virt = 256
 	arch.Match = 256
-	cfg := sim.Baseline(arch)
-	return cfg
+	return Point{Arch: arch, Area: area.Total(arch)}
 }
 
 // Tune computes k_opt, u_opt and the virtualization ratio for one
 // workload, following Section 4.2.
 func Tune(w workload.Workload, opt TuneOptions) (Tuning, error) {
+	return TuneContext(context.Background(), w, opt)
+}
+
+// TuneContext is Tune with eager option validation (errors wrap
+// ErrBadOptions) and cancellation.
+func TuneContext(ctx context.Context, w workload.Workload, opt TuneOptions) (Tuning, error) {
+	if err := opt.Validate(); err != nil {
+		return Tuning{}, err
+	}
+	configure := opt.Configure
+	if configure == nil {
+		configure = BaselineConfigure
+	}
 	inst := w.Build(opt.Scale)
 
 	// Step 1: k_opt on an effectively infinite matching table.
 	kAIPC := make([]float64, len(opt.Ks))
 	best := 0.0
 	for i, k := range opt.Ks {
-		cfg := tuneArch()
+		cfg := configure(TunePoint())
 		cfg.Arch.Match = 4096 // "infinite": far beyond any instance demand
 		cfg.K = k
-		st, err := RunOnce(cfg, inst, 1)
+		st, err := RunOnceContext(ctx, cfg, inst, 1)
 		if err != nil {
-			return Tuning{}, err
+			return Tuning{}, fmt.Errorf("design: tuning %s at k=%d: %w", w.Name, k, err)
 		}
 		kAIPC[i] = st.AIPC()
 		if kAIPC[i] > best {
@@ -94,12 +140,12 @@ func Tune(w workload.Workload, opt TuneOptions) (Tuning, error) {
 		if m%2 != 0 {
 			m++ // keep divisible by the 2-way associativity
 		}
-		cfg := tuneArch()
+		cfg := configure(TunePoint())
 		cfg.Arch.Match = m
 		cfg.K = kOpt
-		st, err := RunOnce(cfg, inst, 1)
+		st, err := RunOnceContext(ctx, cfg, inst, 1)
 		if err != nil {
-			return Tuning{}, err
+			return Tuning{}, fmt.Errorf("design: tuning %s at u=%d: %w", w.Name, u, err)
 		}
 		a := st.AIPC()
 		if i == 0 {

@@ -1,0 +1,104 @@
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"wavescalar/internal/design"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// CellKey returns the content-addressed cache key for one sweep cell: a
+// hex SHA-256 digest (truncated to 128 bits) over the full simulator
+// configuration (architecture plus every microarchitectural knob), the
+// workload name, the scale, and the thread counts tried. Everything that
+// can change a deterministic simulation's outcome is in the key; the
+// trace recorder is excluded because observability never changes results.
+func CellKey(cfg sim.Config, app string, sc workload.Scale, threadCounts []int) string {
+	cfg.Trace = nil
+	h := sha256.New()
+	fmt.Fprintf(h, "cell|%+v|%s|%+v|%v", cfg, app, sc, threadCounts)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// TuneKey returns the cache key for one workload's Table 4 tuning: the
+// base configuration the k/u sweeps perturb, the workload name, and the
+// tuning schedule (scale, Ks, Us, Tol).
+func TuneKey(base sim.Config, app string, opt design.TuneOptions) string {
+	base.Trace = nil
+	h := sha256.New()
+	fmt.Fprintf(h, "tune|%+v|%s|%+v|%v|%v|%v", base, app, opt.Scale, opt.Ks, opt.Us, opt.Tol)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// Cell is one completed (design point, workload) measurement — the unit
+// of caching, journaling and resume. Deterministic failures (deadlocks,
+// cycle-limit aborts) are cells too: they are cached by their error text
+// so a resumed sweep does not re-simulate a known-bad point.
+type Cell struct {
+	Key     string
+	App     string
+	Arch    string // human-readable design point, for journal readers
+	AIPC    float64
+	Threads int
+	// Cycles is the winning run's length; SimCycles totals every thread
+	// count tried (progress accounting).
+	Cycles    uint64
+	SimCycles uint64
+	Err       string // non-empty for a deterministic failure
+}
+
+// Cache is a concurrency-safe, content-addressed store of completed
+// simulation results, shared between overlapping sweeps so identical
+// (design, workload, scale, threads, microarch) cells are simulated at
+// most once per process — or at most once ever, with a journal behind it.
+type Cache struct {
+	mu      sync.RWMutex
+	cells   map[string]Cell
+	tunings map[string]design.Tuning
+}
+
+// NewCache returns an empty in-memory cache.
+func NewCache() *Cache {
+	return &Cache{cells: make(map[string]Cell), tunings: make(map[string]design.Tuning)}
+}
+
+// Cell looks up a completed cell by key.
+func (c *Cache) Cell(key string) (Cell, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cell, ok := c.cells[key]
+	return cell, ok
+}
+
+// PutCell stores a completed cell.
+func (c *Cache) PutCell(cell Cell) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cells[cell.Key] = cell
+}
+
+// Tuning looks up a completed tuning by key.
+func (c *Cache) Tuning(key string) (design.Tuning, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tn, ok := c.tunings[key]
+	return tn, ok
+}
+
+// PutTuning stores a completed tuning.
+func (c *Cache) PutTuning(key string, tn design.Tuning) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tunings[key] = tn
+}
+
+// Len returns the number of cached cells plus tunings.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.cells) + len(c.tunings)
+}

@@ -1,0 +1,402 @@
+// Package explore is the design-space exploration engine: it orchestrates
+// the paper's Pareto sweep (Section 4.2, >21,000 enumerated configurations
+// × 15 workloads) and Table 4 tuning on top of internal/design, adding
+// what a production-scale sweep needs and a one-shot goroutine fan-out
+// lacks:
+//
+//   - a content-addressed result cache (see CellKey) so identical
+//     simulations — within a sweep, across overlapping sweeps, or across
+//     process restarts — run at most once;
+//   - a JSONL journal appended as each (design point, workload) cell
+//     completes, giving checkpoint/resume: a crashed or cancelled sweep
+//     restarted with the same journal replays completed cells and
+//     simulates only the missing ones;
+//   - full context.Context cancellation, threaded down to the simulator's
+//     cycle loop, so Ctrl-C or a timeout stops within microseconds and
+//     loses at most the cells in flight;
+//   - per-sweep progress/ETA reporting (cells done, cache hits, simulated
+//     cycles per second).
+//
+// Every simulation is deterministic, which is what makes the cache sound:
+// a cell's key covers everything that can influence its result.
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"wavescalar/internal/design"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// Progress is a snapshot of a running sweep, delivered to the WithProgress
+// callback after every completed cell and retrievable afterwards with
+// LastProgress.
+type Progress struct {
+	// Done cells out of Total (a cell is one design point × workload).
+	Done, Total int
+	// CacheHits were answered from the cache/journal without simulating;
+	// Simulated ran; Failed of the simulated ended in a deterministic
+	// error (and were cached as such).
+	CacheHits, Simulated, Failed int
+	// SimCycles totals simulated machine cycles this sweep.
+	SimCycles uint64
+	// Elapsed wall time, cells-per-second throughput over it, and the
+	// projected time to finish the remaining cells at that rate.
+	Elapsed     time.Duration
+	CellsPerSec float64
+	ETA         time.Duration
+}
+
+// Option configures an Explorer (functional options).
+type Option func(*Explorer) error
+
+// WithScale sets the workload scale (default workload.Tiny).
+func WithScale(sc workload.Scale) Option {
+	return func(e *Explorer) error { e.scale = sc; return nil }
+}
+
+// WithThreadCounts sets the thread counts tried per cell (default {1}).
+func WithThreadCounts(counts ...int) Option {
+	return func(e *Explorer) error { e.threadCounts = append([]int(nil), counts...); return nil }
+}
+
+// WithParallelism sets the number of concurrent simulations (default
+// GOMAXPROCS).
+func WithParallelism(n int) Option {
+	return func(e *Explorer) error { e.parallelism = n; return nil }
+}
+
+// WithConfigure sets the ConfigureFunc adapting the baseline
+// microarchitecture per design point (default design.BaselineConfigure).
+func WithConfigure(fn design.ConfigureFunc) Option {
+	return func(e *Explorer) error {
+		if fn == nil {
+			return fmt.Errorf("%w: nil ConfigureFunc", design.ErrBadOptions)
+		}
+		e.configure = fn
+		return nil
+	}
+}
+
+// WithCache shares a result cache between explorers (default: a fresh
+// private cache).
+func WithCache(c *Cache) Option {
+	return func(e *Explorer) error {
+		if c == nil {
+			return fmt.Errorf("%w: nil cache", design.ErrBadOptions)
+		}
+		e.cache = c
+		return nil
+	}
+}
+
+// WithJournal backs the cache with a JSONL journal at path. With resume
+// set, existing records are replayed into the cache before the first
+// sweep (a missing file is fine); without it, an existing file is
+// truncated. Records are appended and flushed as each cell completes.
+func WithJournal(path string, resume bool) Option {
+	return func(e *Explorer) error {
+		if path == "" {
+			return fmt.Errorf("%w: empty journal path", design.ErrBadOptions)
+		}
+		e.journalPath, e.resume = path, resume
+		return nil
+	}
+}
+
+// WithProgress installs a callback invoked after every completed cell
+// (from the sweep's worker goroutines, serialized).
+func WithProgress(fn func(Progress)) Option {
+	return func(e *Explorer) error { e.progress = fn; return nil }
+}
+
+// Explorer orchestrates cached, journaled, cancellable sweeps. Construct
+// with New, run Sweep/Tune (any number of times; the cache accumulates),
+// then Close to release the journal.
+type Explorer struct {
+	scale        workload.Scale
+	threadCounts []int
+	parallelism  int
+	configure    design.ConfigureFunc
+	cache        *Cache
+	journalPath  string
+	resume       bool
+	progress     func(Progress)
+
+	journal *journal
+	// Loaded reports how many journal records a resume replayed.
+	loaded int
+
+	mu   sync.Mutex
+	last Progress
+}
+
+// New builds an Explorer, validating options eagerly: a bad scale, thread
+// count, parallelism or journal path fails here with an error wrapping
+// design.ErrBadOptions rather than surfacing mid-sweep.
+func New(opts ...Option) (*Explorer, error) {
+	e := &Explorer{
+		scale:        workload.Tiny,
+		threadCounts: []int{1},
+		parallelism:  runtime.GOMAXPROCS(0),
+		configure:    design.BaselineConfigure,
+		cache:        nil,
+	}
+	for _, o := range opts {
+		if err := o(e); err != nil {
+			return nil, err
+		}
+	}
+	if e.cache == nil {
+		e.cache = NewCache()
+	}
+	if err := (design.SweepOptions{
+		Scale: e.scale, ThreadCounts: e.threadCounts,
+		Parallelism: e.parallelism, Configure: e.configure,
+	}).Validate(); err != nil {
+		return nil, err
+	}
+	if e.journalPath != "" {
+		j, loaded, err := openJournal(e.journalPath, e.resume, e.cache)
+		if err != nil {
+			return nil, err
+		}
+		e.journal, e.loaded = j, loaded
+	}
+	return e, nil
+}
+
+// Close flushes and closes the journal (a no-op without one).
+func (e *Explorer) Close() error {
+	if e.journal == nil {
+		return nil
+	}
+	err := e.journal.close()
+	e.journal = nil
+	return err
+}
+
+// Resumed reports how many journal records were replayed into the cache
+// at construction (0 without WithJournal(path, true)).
+func (e *Explorer) Resumed() int { return e.loaded }
+
+// LastProgress returns the most recent progress snapshot (the final state
+// of the last sweep, once it returns).
+func (e *Explorer) LastProgress() Progress {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last
+}
+
+// Sweep evaluates every design point on every workload, in the same shape
+// design.Sweep returns, but cell by cell through the cache and journal.
+// On cancellation it returns the partial results together with an error
+// wrapping ctx's cause; completed cells are already journaled, so a rerun
+// with the same journal and resume resumes where this run stopped and the
+// merged results are identical to an uninterrupted sweep.
+func (e *Explorer) Sweep(ctx context.Context, points []design.Point, apps []workload.Workload) ([]design.SweepResult, error) {
+	// Build instances and per-point configurations once, up front; both
+	// are read-only during simulation.
+	instances := make([]*workload.Instance, len(apps))
+	for i, w := range apps {
+		instances[i] = w.Build(e.scale)
+	}
+	configs := make([]sim.Config, len(points))
+	keys := make([][]string, len(points))
+	for pi, pt := range points {
+		configs[pi] = e.configure(pt)
+		keys[pi] = make([]string, len(apps))
+		for ai, w := range apps {
+			keys[pi][ai] = CellKey(configs[pi], w.Name, e.scale, e.threadCounts)
+		}
+	}
+
+	total := len(points) * len(apps)
+	cells := make([][]Cell, len(points))
+	for pi := range cells {
+		cells[pi] = make([]Cell, len(apps))
+	}
+
+	var (
+		prog      = Progress{Total: total}
+		start     = time.Now()
+		progMu    sync.Mutex
+		firstJErr error
+	)
+	account := func(update func(*Progress)) {
+		progMu.Lock()
+		update(&prog)
+		prog.Elapsed = time.Since(start)
+		if secs := prog.Elapsed.Seconds(); secs > 0 {
+			prog.CellsPerSec = float64(prog.Done) / secs
+			if prog.CellsPerSec > 0 {
+				prog.ETA = time.Duration(float64(prog.Total-prog.Done) / prog.CellsPerSec * float64(time.Second))
+			}
+		}
+		snap := prog
+		e.mu.Lock()
+		e.last = snap
+		e.mu.Unlock()
+		// The callback runs under progMu so invocations are serialized
+		// and in Done order; it must not call back into Sweep.
+		if e.progress != nil {
+			e.progress(snap)
+		}
+		progMu.Unlock()
+	}
+
+	type cellJob struct{ pi, ai int }
+	jobs := make(chan cellJob)
+	var wg sync.WaitGroup
+	for w := 0; w < e.parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				key := keys[job.pi][job.ai]
+				if cell, ok := e.cache.Cell(key); ok {
+					cells[job.pi][job.ai] = cell
+					account(func(p *Progress) { p.Done++; p.CacheHits++ })
+					continue
+				}
+				if ctx.Err() != nil {
+					continue // drain the queue without simulating
+				}
+				br, err := design.BestThreadsContext(ctx, configs[job.pi], instances[job.ai], e.threadCounts)
+				if err != nil && ctx.Err() != nil {
+					// Cancelled mid-cell: do not cache or journal a
+					// non-deterministic partial outcome.
+					continue
+				}
+				cell := Cell{Key: key, App: apps[job.ai].Name, Arch: points[job.pi].Arch.String()}
+				failed := 0
+				if err != nil {
+					cell.Err = err.Error()
+					failed = 1
+				} else {
+					cell.AIPC, cell.Threads = br.AIPC, br.Threads
+					cell.Cycles, cell.SimCycles = br.Cycles, br.SimCycles
+				}
+				e.cache.PutCell(cell)
+				if e.journal != nil {
+					if jerr := e.journal.append(cellRecord(cell)); jerr != nil {
+						progMu.Lock()
+						if firstJErr == nil {
+							firstJErr = jerr
+						}
+						progMu.Unlock()
+					}
+				}
+				cells[job.pi][job.ai] = cell
+				account(func(p *Progress) {
+					p.Done++
+					p.Simulated++
+					p.Failed += failed
+					p.SimCycles += br.SimCycles
+				})
+			}
+		}()
+	}
+dispatch:
+	for pi := range points {
+		for ai := range apps {
+			select {
+			case <-ctx.Done():
+				break dispatch
+			case jobs <- cellJob{pi, ai}:
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	results := assemble(points, apps, cells, ctx.Err())
+	if err := ctx.Err(); err != nil {
+		progMu.Lock()
+		done := prog.Done
+		progMu.Unlock()
+		return results, fmt.Errorf("explore: sweep cancelled after %d/%d cells: %w", done, total, err)
+	}
+	if firstJErr != nil {
+		return results, firstJErr
+	}
+	return results, nil
+}
+
+// errIncomplete marks a cell the sweep never reached (cancellation).
+var errIncomplete = errors.New("explore: cell not evaluated")
+
+// assemble folds per-cell outcomes back into design.SweepResult rows, one
+// per point, in input order. A point with any failed or missing cell gets
+// Err set (joining every per-app failure) and no Mean, matching
+// design.Sweep's contract that failed points drop out of frontiers.
+func assemble(points []design.Point, apps []workload.Workload, cells [][]Cell, cancelErr error) []design.SweepResult {
+	results := make([]design.SweepResult, len(points))
+	for pi, pt := range points {
+		res := design.SweepResult{
+			Point:   pt,
+			AIPC:    make(map[string]float64, len(apps)),
+			Threads: make(map[string]int, len(apps)),
+		}
+		var errs []error
+		sum := 0.0
+		for ai, app := range apps {
+			cell := cells[pi][ai]
+			switch {
+			case cell.Key == "":
+				err := cancelErr
+				if err == nil {
+					err = errIncomplete
+				}
+				errs = append(errs, fmt.Errorf("%s on %s: %w", app.Name, pt.Arch, err))
+			case cell.Err != "":
+				errs = append(errs, fmt.Errorf("%s on %s: %s", app.Name, pt.Arch, cell.Err))
+			default:
+				res.AIPC[app.Name] = cell.AIPC
+				res.Threads[app.Name] = cell.Threads
+				sum += cell.AIPC
+			}
+		}
+		if len(errs) > 0 {
+			res.Err = errors.Join(errs...)
+		} else {
+			res.Mean = sum / float64(len(apps))
+		}
+		results[pi] = res
+	}
+	return results
+}
+
+// Tune runs the Table 4 procedure for one workload through the cache and
+// journal: a previously journaled tuning with the same workload, schedule
+// and base configuration is returned without simulating.
+func (e *Explorer) Tune(ctx context.Context, w workload.Workload, opt design.TuneOptions) (design.Tuning, bool, error) {
+	if err := opt.Validate(); err != nil {
+		return design.Tuning{}, false, err
+	}
+	configure := opt.Configure
+	if configure == nil {
+		configure = design.BaselineConfigure
+	}
+	key := TuneKey(configure(design.TunePoint()), w.Name, opt)
+	if tn, ok := e.cache.Tuning(key); ok {
+		return tn, true, nil
+	}
+	tn, err := design.TuneContext(ctx, w, opt)
+	if err != nil {
+		return design.Tuning{}, false, err
+	}
+	e.cache.PutTuning(key, tn)
+	if e.journal != nil {
+		if jerr := e.journal.append(tuningRecord(key, tn)); jerr != nil {
+			return tn, false, jerr
+		}
+	}
+	return tn, false, nil
+}

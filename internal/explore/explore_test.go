@@ -1,0 +1,392 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wavescalar/internal/design"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+func testPoints(t *testing.T, n int) []design.Point {
+	t.Helper()
+	pts := design.Viable()
+	if len(pts) < n {
+		t.Fatalf("only %d viable points", len(pts))
+	}
+	return pts[:n]
+}
+
+func testApps(t *testing.T, names ...string) []workload.Workload {
+	t.Helper()
+	var out []workload.Workload
+	for _, n := range names {
+		w, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("workload %q missing", n)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func TestCellKeyDeterminismAndSensitivity(t *testing.T) {
+	cfg := sim.Baseline(sim.BaselineArch())
+	base := CellKey(cfg, "gzip", workload.Tiny, []int{1, 4})
+	if base != CellKey(cfg, "gzip", workload.Tiny, []int{1, 4}) {
+		t.Error("identical inputs produced different keys")
+	}
+	if len(base) != 32 {
+		t.Errorf("key length = %d, want 32 hex chars", len(base))
+	}
+
+	perturbed := map[string]string{}
+	k := cfg
+	k.K = 8
+	perturbed["microarch knob"] = CellKey(k, "gzip", workload.Tiny, []int{1, 4})
+	a := cfg
+	a.Arch.Clusters = 4
+	perturbed["architecture"] = CellKey(a, "gzip", workload.Tiny, []int{1, 4})
+	perturbed["workload"] = CellKey(cfg, "mcf", workload.Tiny, []int{1, 4})
+	perturbed["scale"] = CellKey(cfg, "gzip", workload.Small, []int{1, 4})
+	perturbed["thread counts"] = CellKey(cfg, "gzip", workload.Tiny, []int{1})
+	for what, key := range perturbed {
+		if key == base {
+			t.Errorf("changing the %s did not change the key", what)
+		}
+	}
+
+	// Tracing must NOT change the key: observability never changes a
+	// deterministic run's results.
+	tr := cfg
+	tr.Trace = nil
+	if CellKey(tr, "gzip", workload.Tiny, []int{1, 4}) != base {
+		t.Error("trace recorder leaked into the cache key")
+	}
+}
+
+// TestSweepCacheHitDeterminism is the cache-hit determinism test: a
+// second sweep over a shared cache performs zero simulations and returns
+// byte-identical results.
+func TestSweepCacheHitDeterminism(t *testing.T) {
+	points := testPoints(t, 2)
+	apps := testApps(t, "gzip", "mcf")
+	cache := NewCache()
+
+	first, err := New(WithCache(cache), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := first.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := first.LastProgress()
+	if p.Simulated != len(points)*len(apps) || p.CacheHits != 0 {
+		t.Fatalf("first sweep: %d simulated, %d cached; want all simulated", p.Simulated, p.CacheHits)
+	}
+
+	second, err := New(WithCache(cache), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := second.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = second.LastProgress()
+	if p.Simulated != 0 {
+		t.Errorf("second sweep simulated %d cells, want 0 (all from cache)", p.Simulated)
+	}
+	if p.CacheHits != len(points)*len(apps) {
+		t.Errorf("second sweep cache hits = %d, want %d", p.CacheHits, len(points)*len(apps))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cached results differ from simulated results:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestJournalCrashResumeRoundTrip kills a sweep mid-flight by cancelling
+// its context, restarts from the journal, and asserts the merged results
+// equal an uninterrupted sweep — with the resumed run's simulated-cell
+// count strictly smaller than the total cell count.
+func TestJournalCrashResumeRoundTrip(t *testing.T) {
+	points := testPoints(t, 2)
+	apps := testApps(t, "gzip", "mcf")
+	total := len(points) * len(apps)
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+
+	// Ground truth: an uninterrupted sweep with no cache or journal.
+	plain, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted sweep: cancel as soon as half the cells are journaled.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted, err := New(
+		WithJournal(journal, false),
+		WithParallelism(1),
+		WithProgress(func(p Progress) {
+			if p.Done >= total/2 {
+				cancel()
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interrupted.Sweep(ctx, points, apps); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep error = %v, want context.Canceled", err)
+	}
+	if err := interrupted.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ip := interrupted.LastProgress()
+	if ip.Done == 0 || ip.Done >= total {
+		t.Fatalf("interrupted sweep completed %d/%d cells; the test needs a partial run", ip.Done, total)
+	}
+
+	// Resume: replay the journal, simulate only the missing cells.
+	resumed, err := New(WithJournal(journal, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.Resumed() == 0 {
+		t.Fatal("resume replayed no journal records")
+	}
+	got, err := resumed.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := resumed.LastProgress()
+	if rp.Simulated >= total {
+		t.Errorf("resumed sweep simulated %d of %d cells; the journal skipped no work", rp.Simulated, total)
+	}
+	if rp.CacheHits == 0 {
+		t.Error("resumed sweep had no cache hits")
+	}
+	if rp.CacheHits+rp.Simulated != total {
+		t.Errorf("cache hits %d + simulated %d != total %d", rp.CacheHits, rp.Simulated, total)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed results differ from uninterrupted sweep:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestResumeSmoke is the CI smoke test: a tiny 2 points × 2 apps sweep,
+// journaled, then resumed with zero additional simulation.
+func TestResumeSmoke(t *testing.T) {
+	points := testPoints(t, 2)
+	apps := testApps(t, "gzip", "mcf")
+	journal := filepath.Join(t.TempDir(), "smoke.jsonl")
+
+	first, err := New(WithJournal(journal, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := first.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := New(WithJournal(journal, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	got, err := second.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := second.LastProgress(); p.Simulated != 0 {
+		t.Errorf("resumed smoke sweep simulated %d cells, want 0", p.Simulated)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resumed smoke results differ")
+	}
+}
+
+func TestFailedCellsAreCachedDeterministically(t *testing.T) {
+	points := testPoints(t, 1)
+	apps := testApps(t, "gzip")
+	cache := NewCache()
+	// Starve the run so it deterministically exceeds MaxCycles.
+	strangle := func(p design.Point) sim.Config {
+		cfg := sim.Baseline(p.Arch)
+		cfg.MaxCycles = 100
+		return cfg
+	}
+
+	first, err := New(WithCache(cache), WithConfigure(strangle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := first.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err == nil || !strings.Contains(res[0].Err.Error(), "MaxCycles") {
+		t.Fatalf("expected a MaxCycles failure, got %v", res[0].Err)
+	}
+	if p := first.LastProgress(); p.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", p.Failed)
+	}
+
+	second, err := New(WithCache(cache), WithConfigure(strangle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := second.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := second.LastProgress(); p.Simulated != 0 {
+		t.Errorf("known-bad cell was re-simulated %d times", p.Simulated)
+	}
+	if res2[0].Err == nil || res2[0].Err.Error() != res[0].Err.Error() {
+		t.Errorf("replayed failure differs: %v vs %v", res2[0].Err, res[0].Err)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	content := `{"kind":"cell","key":"abcd","app":"gzip","aipc":1.5,"threads":1}` + "\n" +
+		`{"kind":"cell","key":"ef01","app":"mcf","ai` // torn mid-append
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(WithJournal(path, true))
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated, got %v", err)
+	}
+	defer e.Close()
+	if e.Resumed() != 1 {
+		t.Errorf("Resumed() = %d, want 1 (the intact record)", e.Resumed())
+	}
+	if _, ok := e.cache.Cell("abcd"); !ok {
+		t.Error("intact record not loaded")
+	}
+}
+
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.jsonl")
+	content := "not json at all\n" +
+		`{"kind":"cell","key":"abcd","app":"gzip"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(WithJournal(path, true)); err == nil {
+		t.Fatal("mid-file corruption should fail resume")
+	}
+}
+
+func TestResumeWithMissingJournalIsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.jsonl")
+	e, err := New(WithJournal(path, true))
+	if err != nil {
+		t.Fatalf("resume with no journal yet should work: %v", err)
+	}
+	defer e.Close()
+	if e.Resumed() != 0 {
+		t.Errorf("Resumed() = %d, want 0", e.Resumed())
+	}
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	cases := map[string][]Option{
+		"negative parallelism": {WithParallelism(-1)},
+		"zero thread count":    {WithThreadCounts(0)},
+		"empty thread counts":  {WithThreadCounts()},
+		"degenerate scale":     {WithScale(workload.Scale{})},
+		"nil cache":            {WithCache(nil)},
+		"nil configure":        {WithConfigure(nil)},
+		"empty journal path":   {WithJournal("", false)},
+	}
+	for name, opts := range cases {
+		if _, err := New(opts...); !errors.Is(err, design.ErrBadOptions) {
+			t.Errorf("%s: error = %v, want ErrBadOptions", name, err)
+		}
+	}
+}
+
+func TestTuneCachesThroughJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.jsonl")
+	w, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip missing")
+	}
+	opt := design.DefaultTuneOptions()
+	opt.Ks = []int{1, 2}
+	opt.Us = []int{1, 4}
+
+	first, err := New(WithJournal(path, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, hit, err := first.Tune(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first tuning reported a cache hit")
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := New(WithJournal(path, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	got, hit, err := second.Tune(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("journaled tuning was re-simulated")
+	}
+	if got != want {
+		t.Errorf("replayed tuning %+v != %+v", got, want)
+	}
+
+	// A different schedule must miss.
+	opt.Us = []int{1, 2}
+	if _, hit, err := second.Tune(context.Background(), w, opt); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Error("tuning with a different schedule hit the cache")
+	}
+}
+
+func TestSweepCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.Sweep(ctx, testPoints(t, 1), testApps(t, "gzip"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if len(results) != 1 || results[0].Err == nil {
+		t.Errorf("cancelled sweep should mark unevaluated points failed: %+v", results)
+	}
+}

@@ -1,0 +1,161 @@
+package explore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"wavescalar/internal/design"
+)
+
+// record is one journal line. The journal is JSONL: one self-contained
+// JSON object per line, appended as each cell (or tuning) completes, so a
+// crashed or cancelled sweep loses at most the cell in flight. A resumed
+// run replays the journal into the cache and simulates only missing
+// cells; because records are content-addressed, a journal can safely be
+// shared by overlapping sweeps and by sweeps with different options —
+// mismatched cells simply never get looked up.
+type record struct {
+	Kind    string  `json:"kind"` // "cell" or "tuning"
+	Key     string  `json:"key"`
+	App     string  `json:"app"`
+	Arch    string  `json:"arch,omitempty"`
+	AIPC    float64 `json:"aipc,omitempty"`
+	Threads int     `json:"threads,omitempty"`
+	Cycles  uint64  `json:"cycles,omitempty"`
+	Sim     uint64  `json:"sim_cycles,omitempty"`
+	Err     string  `json:"err,omitempty"`
+	// Tuning fields (kind "tuning").
+	KOpt  int     `json:"k_opt,omitempty"`
+	UOpt  int     `json:"u_opt,omitempty"`
+	Ratio float64 `json:"ratio,omitempty"`
+}
+
+// journal appends completed records to a JSONL file.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// openJournal opens path for appending. With resume set, existing records
+// are first replayed into cache (tolerating a torn final line from a
+// crash); without it, an existing file is truncated.
+func openJournal(path string, resume bool, cache *Cache) (*journal, int, error) {
+	loaded := 0
+	if resume {
+		n, err := loadJournal(path, cache)
+		if err != nil {
+			return nil, 0, err
+		}
+		loaded = n
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("explore: open journal: %w", err)
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, loaded, nil
+}
+
+// loadJournal replays a journal file into the cache, returning how many
+// records were loaded. A missing file is an empty journal, not an error
+// (so -resume works on the first run too). A torn final line — the
+// signature of a crash mid-append — is ignored; a corrupt line elsewhere
+// is an error.
+func loadJournal(path string, cache *Cache) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("explore: open journal for resume: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	n, line := 0, 0
+	var pendingErr error
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			// The bad line was not the final one: real corruption.
+			return n, pendingErr
+		}
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			pendingErr = fmt.Errorf("explore: journal %s line %d: %w", path, line, err)
+			continue
+		}
+		switch rec.Kind {
+		case "cell":
+			cache.PutCell(Cell{
+				Key: rec.Key, App: rec.App, Arch: rec.Arch,
+				AIPC: rec.AIPC, Threads: rec.Threads,
+				Cycles: rec.Cycles, SimCycles: rec.Sim, Err: rec.Err,
+			})
+			n++
+		case "tuning":
+			cache.PutTuning(rec.Key, design.Tuning{
+				App: rec.App, KOpt: rec.KOpt, UOpt: rec.UOpt, Ratio: rec.Ratio,
+			})
+			n++
+		default:
+			pendingErr = fmt.Errorf("explore: journal %s line %d: unknown kind %q", path, line, rec.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("explore: reading journal %s: %w", path, err)
+	}
+	return n, nil
+}
+
+// append writes one record and flushes it, so the journal is durable up
+// to the last completed cell even if the process dies.
+func (j *journal) append(rec record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("explore: encode journal record: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		return fmt.Errorf("explore: append journal: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("explore: flush journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+func cellRecord(c Cell) record {
+	return record{
+		Kind: "cell", Key: c.Key, App: c.App, Arch: c.Arch,
+		AIPC: c.AIPC, Threads: c.Threads, Cycles: c.Cycles,
+		Sim: c.SimCycles, Err: c.Err,
+	}
+}
+
+func tuningRecord(key string, tn design.Tuning) record {
+	return record{
+		Kind: "tuning", Key: key, App: tn.App,
+		KOpt: tn.KOpt, UOpt: tn.UOpt, Ratio: tn.Ratio,
+	}
+}

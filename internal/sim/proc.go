@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -306,11 +307,31 @@ func (p *Processor) respondMem(cycle uint64, cluster int, inst isa.InstID, tag i
 	}
 }
 
+// cancelCheckMask gates how often RunContext polls its context: every
+// 4096 cycles, so cancellation latency stays far below a millisecond of
+// wall time while the per-cycle cost of an uncancelled run is one masked
+// compare.
+const cancelCheckMask = 1<<12 - 1
+
 // Run executes the program to completion and returns the statistics.
 func (p *Processor) Run() (*Stats, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the program to completion, checking ctx for
+// cancellation every few thousand cycles. A cancelled run returns an
+// error wrapping ctx's cause (matchable with errors.Is against
+// context.Canceled or context.DeadlineExceeded); the processor's state is
+// then mid-flight and the Processor must not be reused.
+func (p *Processor) RunContext(ctx context.Context) (*Stats, error) {
 	p.inject()
 	c := uint64(0)
 	for p.haltCount < p.threads {
+		if c&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run cancelled at cycle %d: %w", c, err)
+			}
+		}
 		if c >= p.cfg.MaxCycles {
 			return nil, fmt.Errorf("sim: %w: MaxCycles=%d (%d/%d threads done)",
 				ErrMaxCycles, p.cfg.MaxCycles, p.haltCount, p.threads)
@@ -326,6 +347,11 @@ func (p *Processor) Run() (*Stats, error) {
 	// Drain in-flight memory so the functional memory reflects every
 	// store (bounded; normally finishes quickly).
 	for extra := uint64(0); extra < 2_000_000 && !p.quiesced(); extra++ {
+		if extra&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run cancelled during drain at cycle %d: %w", c, err)
+			}
+		}
 		p.tick(c)
 		c++
 	}

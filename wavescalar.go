@@ -3,7 +3,7 @@
 // "Area-Performance Trade-offs in Tiled Dataflow Architectures"
 // (Swanson et al., ISCA 2006).
 //
-// The package exposes four layers:
+// The package exposes five layers:
 //
 //   - Programs: build WaveScalar dataflow graphs with NewProgram (loops,
 //     steering, wave-ordered memory) or use the bundled benchmark suite
@@ -16,14 +16,23 @@
 //   - Design space: enumeration, pruning, matching-table tuning and
 //     Pareto analysis (DesignSpace, ViableDesigns, Sweep, ParetoFrontier,
 //     TuneMatchingTable).
+//   - Exploration: the resumable, cancellable sweep engine with result
+//     caching and journaling (NewExplorer with functional options).
+//
+// Context-aware entry points (RunWorkloadContext, Explorer.Sweep) accept
+// a context.Context and stop within a few thousand simulated cycles of
+// cancellation; the positional forms (RunWorkload, NewProcessor, Sweep)
+// remain as deprecated wrappers.
 package wavescalar
 
 import (
+	"context"
 	"fmt"
 
 	"wavescalar/internal/area"
 	"wavescalar/internal/design"
 	"wavescalar/internal/energy"
+	"wavescalar/internal/explore"
 	"wavescalar/internal/graph"
 	"wavescalar/internal/isa"
 	"wavescalar/internal/ref"
@@ -65,6 +74,10 @@ var (
 	ErrNotQuiesced = sim.ErrNotQuiesced
 	// ErrMaxCycles means the run exceeded Config.MaxCycles.
 	ErrMaxCycles = sim.ErrMaxCycles
+	// ErrBadOptions is wrapped by the validating, context-aware entry
+	// points (RunWorkloadContext, NewExplorer, design sweeps/tunes) when
+	// their options are malformed; match with errors.Is.
+	ErrBadOptions = design.ErrBadOptions
 )
 
 // Tracing types: the cycle-level observability layer (internal/trace).
@@ -152,8 +165,52 @@ func BaselineArch() ArchParams { return sim.BaselineArch() }
 // Baseline returns the Table 1 microarchitecture for an architecture.
 func Baseline(arch ArchParams) Config { return sim.Baseline(arch) }
 
+// ProcOption configures BuildProcessor.
+type ProcOption func(*procOptions)
+
+type procOptions struct {
+	cfg    Config
+	params []map[string]uint64
+	mem    Memory
+}
+
+// ProcConfig sets the processor configuration (default
+// Baseline(BaselineArch())).
+func ProcConfig(cfg Config) ProcOption {
+	return func(o *procOptions) { o.cfg = cfg }
+}
+
+// ProcParams sets one parameter map per thread; the thread count is
+// len(params) (default: one thread with no parameters).
+func ProcParams(params ...map[string]uint64) ProcOption {
+	return func(o *procOptions) { o.params = params }
+}
+
+// ProcMemory seeds the functional memory (it is copied).
+func ProcMemory(mem Memory) ProcOption {
+	return func(o *procOptions) { o.mem = mem }
+}
+
+// BuildProcessor builds a processor for prog. With no options it runs one
+// thread of prog on the paper's Table 1 baseline with empty memory; use
+// ProcConfig, ProcParams and ProcMemory to override. The returned
+// Processor runs with Run or, for cancellation, RunContext.
+func BuildProcessor(prog *Program, opts ...ProcOption) (*Processor, error) {
+	o := procOptions{
+		cfg:    Baseline(BaselineArch()),
+		params: []map[string]uint64{{}},
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return sim.New(o.cfg, prog, o.params, o.mem)
+}
+
 // NewProcessor builds a processor running prog with one parameter map per
 // thread and the given initial memory.
+//
+// Deprecated: use BuildProcessor, which takes functional options and
+// defaults every argument.
 func NewProcessor(cfg Config, prog *Program, params []map[string]uint64, mem Memory) (*Processor, error) {
 	return sim.New(cfg, prog, params, mem)
 }
@@ -174,15 +231,67 @@ func WorkloadByName(name string) (Workload, error) {
 	return w, nil
 }
 
-// RunWorkload builds the named workload at the given scale and runs it on
-// cfg with the given number of threads, returning the run statistics.
-func RunWorkload(cfg Config, name string, sc Scale, threads int) (*Stats, error) {
+// RunOption configures RunWorkloadContext.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	cfg     Config
+	scale   Scale
+	threads int
+}
+
+// WithConfig sets the processor configuration (default
+// Baseline(BaselineArch())).
+func WithConfig(cfg Config) RunOption {
+	return func(o *runOptions) { o.cfg = cfg }
+}
+
+// AtScale sets the workload scale (default ScaleTiny).
+func AtScale(sc Scale) RunOption {
+	return func(o *runOptions) { o.scale = sc }
+}
+
+// WithThreads sets the thread count (default 1).
+func WithThreads(n int) RunOption {
+	return func(o *runOptions) { o.threads = n }
+}
+
+// RunWorkloadContext builds the named workload and runs it, honouring ctx:
+// the simulation aborts within a few thousand cycles of cancellation.
+// With no options it runs one thread at ScaleTiny on the paper's Table 1
+// baseline. Malformed options (a non-positive thread count, a degenerate
+// scale) fail eagerly with an error wrapping ErrBadOptions.
+func RunWorkloadContext(ctx context.Context, name string, opts ...RunOption) (*Stats, error) {
+	o := runOptions{
+		cfg:     Baseline(BaselineArch()),
+		scale:   ScaleTiny,
+		threads: 1,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.threads < 1 {
+		return nil, fmt.Errorf("%w: thread count %d must be positive", ErrBadOptions, o.threads)
+	}
+	if o.scale.Iters <= 0 || o.scale.Footprint <= 0 {
+		return nil, fmt.Errorf("%w: scale %+v (use ScaleTiny/ScaleSmall/ScaleMedium)", ErrBadOptions, o.scale)
+	}
 	w, err := WorkloadByName(name)
 	if err != nil {
 		return nil, err
 	}
-	inst := w.Build(sc)
-	return design.RunOnce(cfg, inst, threads)
+	inst := w.Build(o.scale)
+	return design.RunOnceContext(ctx, o.cfg, inst, o.threads)
+}
+
+// RunWorkload builds the named workload at the given scale and runs it on
+// cfg with the given number of threads, returning the run statistics.
+//
+// Deprecated: use RunWorkloadContext, which supports cancellation and
+// defaults every argument.
+func RunWorkload(cfg Config, name string, sc Scale, threads int) (*Stats, error) {
+	return RunWorkloadContext(context.Background(), name,
+		WithConfig(cfg), AtScale(sc), WithThreads(threads))
 }
 
 // Interpret executes a program functionally (no timing) and returns its
@@ -230,6 +339,9 @@ func DesignRules() []string { return append([]string(nil), design.Rules...) }
 
 // Sweep evaluates design points over workloads (concurrently; each
 // individual simulation is deterministic).
+//
+// Deprecated: use NewExplorer, whose Sweep adds cancellation, result
+// caching, journaling/resume and progress reporting.
 func Sweep(points []DesignPoint, apps []Workload, opt SweepOptions) []SweepResult {
 	return design.Sweep(points, apps, opt)
 }
@@ -247,6 +359,66 @@ func TuneMatchingTable(w Workload, opt TuneOptions) (Tuning, error) {
 
 // DefaultTuneOptions mirrors the paper's tuning procedure.
 func DefaultTuneOptions() TuneOptions { return design.DefaultTuneOptions() }
+
+// Exploration engine: resumable, cancellable sweeps with result caching
+// (internal/explore).
+
+type (
+	// Explorer orchestrates cached, journaled, cancellable design-space
+	// sweeps and tunings. Build one with NewExplorer, run Sweep/Tune,
+	// then Close to release the journal.
+	Explorer = explore.Explorer
+	// ExploreOption is a functional option for NewExplorer.
+	ExploreOption = explore.Option
+	// ExploreProgress is the per-cell progress snapshot delivered to
+	// WithProgress (cells done, cache hits, sims/sec, ETA).
+	ExploreProgress = explore.Progress
+	// ExploreCache is the content-addressed simulation result cache;
+	// share one across explorers with WithCache.
+	ExploreCache = explore.Cache
+	// ExploreCell is one cached (design point, workload) measurement.
+	ExploreCell = explore.Cell
+	// ConfigureFunc adapts the baseline microarchitecture to one design
+	// point; SweepOptions, TuneOptions and WithConfigure share it.
+	ConfigureFunc = design.ConfigureFunc
+)
+
+// NewExplorer builds the exploration engine. With no options it sweeps at
+// ScaleTiny, one thread, GOMAXPROCS-wide, with a fresh private cache and
+// no journal. Options are validated eagerly (errors wrap ErrBadOptions).
+//
+//	exp, err := wavescalar.NewExplorer(
+//		wavescalar.WithJournal("sweep.jsonl", true), // resume if present
+//		wavescalar.WithThreadCounts(1, 4, 16, 64),
+//		wavescalar.WithProgress(func(p wavescalar.ExploreProgress) { ... }),
+//	)
+//	results, err := exp.Sweep(ctx, points, apps)
+func NewExplorer(opts ...ExploreOption) (*Explorer, error) { return explore.New(opts...) }
+
+// NewExploreCache returns an empty result cache for WithCache.
+func NewExploreCache() *ExploreCache { return explore.NewCache() }
+
+// WithCache shares a result cache between explorers.
+func WithCache(c *ExploreCache) ExploreOption { return explore.WithCache(c) }
+
+// WithJournal backs the cache with a JSONL journal; with resume set,
+// existing records are replayed so only missing cells simulate.
+func WithJournal(path string, resume bool) ExploreOption { return explore.WithJournal(path, resume) }
+
+// WithParallelism sets the number of concurrent simulations.
+func WithParallelism(n int) ExploreOption { return explore.WithParallelism(n) }
+
+// WithProgress installs a per-completed-cell progress callback.
+func WithProgress(fn func(ExploreProgress)) ExploreOption { return explore.WithProgress(fn) }
+
+// WithScale sets the workload scale swept.
+func WithScale(sc Scale) ExploreOption { return explore.WithScale(sc) }
+
+// WithThreadCounts sets the thread counts tried per cell.
+func WithThreadCounts(counts ...int) ExploreOption { return explore.WithThreadCounts(counts...) }
+
+// WithConfigure sets the per-point microarchitecture adapter.
+func WithConfigure(fn ConfigureFunc) ExploreOption { return explore.WithConfigure(fn) }
 
 // Energy model (an extension beyond the paper, which defers power to
 // future work).
