@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"wavescalar"
+	"wavescalar/internal/version"
 )
 
 func main() {
@@ -28,8 +29,13 @@ func main() {
 	m := flag.Int("m", 128, "matching table entries per PE")
 	l1 := flag.Int("l1", 32, "L1 KB per cluster")
 	l2 := flag.Int("l2", 0, "total L2 MB")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.Line("wsarea"))
+		return
+	}
 	switch {
 	case *model:
 		fmt.Print(modelText)

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"wavescalar"
+	"wavescalar/internal/version"
 	"wavescalar/internal/wasm"
 	"wavescalar/internal/workload"
 )
@@ -25,8 +26,13 @@ func main() {
 	runFile := flag.String("run", "", "assemble a file and run it functionally")
 	check := flag.String("check", "", "assemble a file and validate it")
 	params := flag.String("p", "", "comma-separated name=value parameter bindings")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.Line("wsasm"))
+		return
+	}
 	switch {
 	case *dump != "":
 		w, ok := workload.ByName(*dump)

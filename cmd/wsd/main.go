@@ -1,0 +1,127 @@
+// Command wsd runs the simulation-as-a-service daemon: an HTTP/JSON API
+// over the wavescalar exploration engine with a bounded worker pool,
+// singleflight deduplication of identical in-flight runs, a shared
+// content-addressed result cache, and Prometheus metrics.
+//
+// Usage:
+//
+//	wsd                                      # listen on 127.0.0.1:8080
+//	wsd -addr :9090 -workers 8 -queue 256    # bigger deployment
+//	wsd -journal wsd.jsonl -resume           # warm restart from journal
+//	wsd -cache-limit 10000                   # bound cache memory (LRU)
+//
+// Endpoints:
+//
+//	POST /v1/runs        synchronous single simulation (cached, deduped)
+//	POST /v1/sweeps      asynchronous design-space sweep -> job id
+//	GET  /v1/jobs/{id}   job status, progress, results
+//	DELETE /v1/jobs/{id} cancel a job
+//	GET  /v1/designs     enumerate viable design points
+//	GET  /v1/workloads   enumerate bundled workloads
+//	GET  /healthz        liveness + queue/cache stats
+//	GET  /metrics        Prometheus text exposition
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: admissions stop (new
+// work gets 503), in-flight simulations finish within -drain, results
+// are journaled, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wavescalar"
+	"wavescalar/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth; a full queue rejects with 429")
+	timeout := flag.Duration("timeout", 60*time.Second, "synchronous run request timeout")
+	journalPath := flag.String("journal", "", "append completed cells to this JSONL journal")
+	resume := flag.Bool("resume", false, "replay the journal at startup (warm restart)")
+	cacheLimit := flag.Int("cache-limit", 0, "max cached cells, LRU-evicted (0 = unlimited)")
+	par := flag.Int("parallel", 0, "concurrent simulations per sweep job (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain deadline for in-flight simulations")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.Line("wsd"))
+		return
+	}
+	if *resume && *journalPath == "" {
+		fail(fmt.Errorf("-resume requires -journal"))
+	}
+
+	opts := []wavescalar.ServerOption{
+		wavescalar.ServerQueueDepth(*queue),
+		wavescalar.ServerRequestTimeout(*timeout),
+	}
+	if *workers > 0 {
+		opts = append(opts, wavescalar.ServerWorkers(*workers))
+	}
+	if *cacheLimit > 0 {
+		opts = append(opts, wavescalar.ServerCacheLimit(*cacheLimit))
+	}
+	if *par > 0 {
+		opts = append(opts, wavescalar.ServerParallelism(*par))
+	}
+	if *journalPath != "" {
+		opts = append(opts, wavescalar.ServerJournal(*journalPath, *resume))
+	}
+	srv, err := wavescalar.NewServer(opts...)
+	if err != nil {
+		fail(err)
+	}
+	if *resume {
+		fmt.Fprintf(os.Stderr, "wsd: resumed %d journaled cells from %s\n", srv.Resumed(), *journalPath)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	// Printed on stdout so scripts (and the smoke test) can parse the
+	// actual port when -addr ends in :0.
+	fmt.Printf("wsd: listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	shutdownDone := make(chan error, 1)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "wsd: %s: draining (deadline %s)\n", sig, *drain)
+		// Drain the simulation pipeline first, while the HTTP server still
+		// delivers results to waiting clients; then close the listener.
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		err := srv.Shutdown(drainCtx)
+		if herr := httpSrv.Shutdown(context.Background()); err == nil {
+			err = herr
+		}
+		shutdownDone <- err
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fail(err)
+	}
+	if err := <-shutdownDone; err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "wsd: drained, exiting")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wsd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonSmoke builds the wsd binary, starts it on a random port,
+// exercises the API end to end over real HTTP, and SIGTERMs it: the
+// daemon must drain gracefully (exit 0) with the completed result in the
+// journal.
+func TestDaemonSmoke(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal handling")
+	}
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "wsd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	journal := filepath.Join(dir, "wsd.jsonl")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-journal", journal, "-drain", "60s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "wsd: listening on http://HOST:PORT" once ready.
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	go io.Copy(io.Discard, stdout)
+	url := strings.TrimSpace(strings.TrimPrefix(line, "wsd: listening on "))
+	if !strings.HasPrefix(url, "http://") {
+		t.Fatalf("unexpected listen line %q", line)
+	}
+
+	body := `{"workload":"fft","scale":"tiny"}`
+	resp, err := http.Post(url+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d", resp.StatusCode)
+	}
+	var first struct {
+		Key    string          `json:"key"`
+		Cached bool            `json:"cached"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if first.Cached || len(first.Result) == 0 {
+		t.Fatalf("first run: cached=%v result=%s", first.Cached, first.Result)
+	}
+
+	// Same request again: deterministic simulation + cache means an
+	// identical result without simulating.
+	resp, err = http.Post(url+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second struct {
+		Cached bool            `json:"cached"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !second.Cached {
+		t.Error("second run not cached")
+	}
+	if string(second.Result) != string(first.Result) {
+		t.Errorf("results differ:\n%s\nvs\n%s", first.Result, second.Result)
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`wsd_sims_total{outcome="completed"} 1`,
+		"wsd_cache_hit_ratio",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// SIGTERM must drain gracefully: exit 0, journal intact.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- cmd.Wait() }()
+	select {
+	case err := <-waitDone:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), first.Key) {
+		t.Errorf("journal missing cell %s", first.Key)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "wsd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("wsd -version: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), "wsd ") {
+		t.Errorf("version output %q", out)
+	}
+}

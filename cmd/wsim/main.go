@@ -15,13 +15,14 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"wavescalar"
+	"wavescalar/internal/cli"
+	"wavescalar/internal/version"
 )
 
 func main() {
@@ -40,15 +41,20 @@ func main() {
 	showEnergy := flag.Bool("energy", false, "print the energy-model breakdown")
 	jsonOut := flag.Bool("json", false, "print machine-readable stats JSON to stdout")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON to this path")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.Line("wsim"))
+		return
+	}
 	if *list {
 		for _, w := range wavescalar.Workloads() {
 			fmt.Printf("%-12s %s\n", w.Name, w.Suite)
 		}
 		return
 	}
-	sc, err := parseScale(*scale)
+	sc, err := cli.ParseScale(*scale)
 	if err != nil {
 		fail(err)
 	}
@@ -85,7 +91,7 @@ func main() {
 		}
 	}
 	if *jsonOut {
-		if err := printJSON(*app, *scale, *threads, arch, st); err != nil {
+		if err := cli.WriteJSON(os.Stdout, cli.NewRunReport(*app, *scale, *threads, arch, st)); err != nil {
 			fail(err)
 		}
 		return
@@ -95,30 +101,6 @@ func main() {
 		fmt.Println("\nenergy estimate (90nm event model; comparative, not absolute):")
 		fmt.Print(wavescalar.EstimateEnergy(wavescalar.DefaultEnergyModel(), st, arch).Format(st.Countable))
 	}
-}
-
-// printJSON emits one machine-readable result object on stdout.
-func printJSON(app, scale string, threads int, arch wavescalar.ArchParams, st *wavescalar.Stats) error {
-	out := struct {
-		App      string                `json:"app"`
-		Scale    string                `json:"scale"`
-		Threads  int                   `json:"threads"`
-		Arch     wavescalar.ArchParams `json:"arch"`
-		AreaMM2  float64               `json:"area_mm2"`
-		AIPC     float64               `json:"aipc"`
-		OpLat    float64               `json:"avg_operand_latency"`
-		MemLat   float64               `json:"avg_mem_latency"`
-		OpShare  float64               `json:"operand_share"`
-		Messages uint64                `json:"messages"`
-		Stats    *wavescalar.Stats     `json:"stats"`
-	}{
-		App: app, Scale: scale, Threads: threads, Arch: arch,
-		AreaMM2: wavescalar.TotalArea(arch),
-		AIPC:    st.AIPC(), OpLat: st.AvgOperandLatency(), MemLat: st.AvgMemLatency(),
-		OpShare: st.OperandShare(), Messages: st.TrafficTotal(), Stats: st,
-	}
-	enc := json.NewEncoder(os.Stdout)
-	return enc.Encode(out)
 }
 
 // writeTrace writes the recorder's Chrome trace to path.
@@ -132,18 +114,6 @@ func writeTrace(path string, rec *wavescalar.TraceRecorder) error {
 		return err
 	}
 	return f.Close()
-}
-
-func parseScale(s string) (wavescalar.Scale, error) {
-	switch s {
-	case "tiny":
-		return wavescalar.ScaleTiny, nil
-	case "small":
-		return wavescalar.ScaleSmall, nil
-	case "medium":
-		return wavescalar.ScaleMedium, nil
-	}
-	return wavescalar.Scale{}, fmt.Errorf("unknown scale %q (tiny, small, medium)", s)
 }
 
 func fail(err error) {

@@ -33,7 +33,9 @@ import (
 	"time"
 
 	"wavescalar"
+	"wavescalar/internal/cli"
 	"wavescalar/internal/design"
+	"wavescalar/internal/version"
 )
 
 func main() {
@@ -48,13 +50,18 @@ func main() {
 	resume := flag.Bool("resume", false, "replay the journal first and simulate only missing cells")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
 	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.Line("wspareto"))
+		return
+	}
 	if *resume && *journalPath == "" {
 		fail(errors.New("-resume requires -journal"))
 	}
 
-	sc, err := parseScale(*scale)
+	sc, err := cli.ParseScale(*scale)
 	if err != nil {
 		fail(err)
 	}
@@ -261,18 +268,6 @@ func subsample(pts []wavescalar.DesignPoint, n int) []wavescalar.DesignPoint {
 		out = append(out, pts[i*len(pts)/n])
 	}
 	return out
-}
-
-func parseScale(s string) (wavescalar.Scale, error) {
-	switch s {
-	case "tiny":
-		return wavescalar.ScaleTiny, nil
-	case "small":
-		return wavescalar.ScaleSmall, nil
-	case "medium":
-		return wavescalar.ScaleMedium, nil
-	}
-	return wavescalar.Scale{}, fmt.Errorf("unknown scale %q", s)
 }
 
 func fail(err error) {

@@ -18,6 +18,8 @@ import (
 	"os"
 
 	"wavescalar"
+	"wavescalar/internal/cli"
+	"wavescalar/internal/version"
 )
 
 func main() {
@@ -37,9 +39,14 @@ func main() {
 	interval := flag.Uint64("interval", 1024, "counter bucket width in cycles")
 	capacity := flag.Int("cap", 1<<20, "event ring capacity (oldest events drop when full)")
 	top := flag.Int("top", 5, "entries in the hottest-PEs / hottest-links summary")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
-	sc, err := parseScale(*scale)
+	if *showVersion {
+		fmt.Println(version.Line("wstrace"))
+		return
+	}
+	sc, err := cli.ParseScale(*scale)
 	if err != nil {
 		fail(err)
 	}
@@ -99,18 +106,6 @@ func writeFile(path string, write func(w io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func parseScale(s string) (wavescalar.Scale, error) {
-	switch s {
-	case "tiny":
-		return wavescalar.ScaleTiny, nil
-	case "small":
-		return wavescalar.ScaleSmall, nil
-	case "medium":
-		return wavescalar.ScaleMedium, nil
-	}
-	return wavescalar.Scale{}, fmt.Errorf("unknown scale %q (tiny, small, medium)", s)
 }
 
 func fail(err error) {

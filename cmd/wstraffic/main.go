@@ -8,6 +8,7 @@
 //	wstraffic                       # all workloads on 1 cluster
 //	wstraffic -clusters 1,4,16      # splash2 across machine sizes
 //	wstraffic -app fft -threads 16
+//	wstraffic -json                 # one JSON object per row to stdout
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"strings"
 
 	"wavescalar"
+	"wavescalar/internal/cli"
+	"wavescalar/internal/version"
 )
 
 func main() {
@@ -25,14 +28,17 @@ func main() {
 	clusters := flag.String("clusters", "1", "comma-separated cluster counts")
 	threads := flag.Int("threads", 0, "threads (0 = clusters for splash2, 1 otherwise)")
 	scale := flag.String("scale", "tiny", "workload scale: tiny, small, medium")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON object per row")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
-	sc := wavescalar.ScaleTiny
-	switch *scale {
-	case "small":
-		sc = wavescalar.ScaleSmall
-	case "medium":
-		sc = wavescalar.ScaleMedium
+	if *showVersion {
+		fmt.Println(version.Line("wstraffic"))
+		return
+	}
+	sc, err := cli.ParseScale(*scale)
+	if err != nil {
+		fail(err)
 	}
 
 	var sizes []int
@@ -55,9 +61,11 @@ func main() {
 		apps = wavescalar.Workloads()
 	}
 
-	fmt.Printf("%-12s %4s %3s %9s | %7s %7s %7s %7s %7s | %7s %7s\n",
-		"app", "C", "thr", "messages",
-		"PE", "pod", "domain", "cluster", "grid", "operand", "msg-lat")
+	if !*jsonOut {
+		fmt.Printf("%-12s %4s %3s %9s | %7s %7s %7s %7s %7s | %7s %7s\n",
+			"app", "C", "thr", "messages",
+			"PE", "pod", "domain", "cluster", "grid", "operand", "msg-lat")
+	}
 	for _, w := range apps {
 		for _, c := range sizes {
 			arch := wavescalar.BaselineArch()
@@ -80,6 +88,12 @@ func main() {
 			st, err := wavescalar.RunWorkload(cfg, w.Name, sc, th)
 			if err != nil {
 				fail(fmt.Errorf("%s C=%d: %w", w.Name, c, err))
+			}
+			if *jsonOut {
+				if err := cli.WriteJSON(os.Stdout, cli.NewTrafficRow(w, c, th, *scale, st)); err != nil {
+					fail(err)
+				}
+				continue
 			}
 			total := st.TrafficTotal()
 			pct := func(l wavescalar.TrafficLevel) float64 {

@@ -18,6 +18,7 @@ import (
 	"os/signal"
 
 	"wavescalar"
+	"wavescalar/internal/version"
 )
 
 func main() {
@@ -26,8 +27,13 @@ func main() {
 	journalPath := flag.String("journal", "", "append completed tunings to this JSONL journal")
 	resume := flag.Bool("resume", false, "replay the journal first and tune only missing workloads")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.Line("wstune"))
+		return
+	}
 	if *resume && *journalPath == "" {
 		fail(errors.New("-resume requires -journal"))
 	}

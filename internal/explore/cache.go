@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -17,6 +18,9 @@ import (
 // workload name, the scale, and the thread counts tried. Everything that
 // can change a deterministic simulation's outcome is in the key; the
 // trace recorder is excluded because observability never changes results.
+// The daemon uses the same key for request deduplication, so a cell
+// simulated by a CLI sweep and journaled is a cache hit for an identical
+// HTTP request after a warm restart.
 func CellKey(cfg sim.Config, app string, sc workload.Scale, threadCounts []int) string {
 	cfg.Trace = nil
 	h := sha256.New()
@@ -51,41 +55,121 @@ type Cell struct {
 	Err       string // non-empty for a deterministic failure
 }
 
+// CacheStats is a snapshot of a cache's contents and lookup history,
+// exported so long-running services can report hit ratios and eviction
+// pressure.
+type CacheStats struct {
+	// Cells and Tunings count the stored entries; Limit is the LRU cap on
+	// cells (0 = unlimited).
+	Cells, Tunings, Limit int
+	// Hits and Misses count lookups (cells and tunings alike); Evictions
+	// counts cells dropped to honour the limit.
+	Hits, Misses, Evictions uint64
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
 // Cache is a concurrency-safe, content-addressed store of completed
 // simulation results, shared between overlapping sweeps so identical
 // (design, workload, scale, threads, microarch) cells are simulated at
 // most once per process — or at most once ever, with a journal behind it.
+//
+// By default the cache grows without bound (a full Pareto sweep is a few
+// hundred thousand cells at most, and a CLI process is short-lived). A
+// long-running daemon can cap it with SetLimit, which turns the cell
+// store into an LRU: lookups refresh recency, and inserts beyond the
+// limit evict the least recently used cell. Tunings are not subject to
+// the limit — there is at most one per (workload, schedule) and the
+// tuning store stays trivially small.
 type Cache struct {
-	mu      sync.RWMutex
-	cells   map[string]Cell
+	mu      sync.Mutex
+	limit   int
+	cells   map[string]*list.Element // elements hold Cell values
+	order   *list.List               // front = most recently used
 	tunings map[string]design.Tuning
+
+	hits, misses, evictions uint64
 }
 
-// NewCache returns an empty in-memory cache.
+// NewCache returns an empty, unbounded in-memory cache.
 func NewCache() *Cache {
-	return &Cache{cells: make(map[string]Cell), tunings: make(map[string]design.Tuning)}
+	return &Cache{
+		cells:   make(map[string]*list.Element),
+		order:   list.New(),
+		tunings: make(map[string]design.Tuning),
+	}
 }
 
-// Cell looks up a completed cell by key.
+// SetLimit caps the cell store at n entries, evicting least-recently-used
+// cells immediately if it is already over. n <= 0 removes the cap.
+func (c *Cache) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.evictOver()
+}
+
+// evictOver drops LRU cells until the store is within the limit.
+// Callers hold c.mu.
+func (c *Cache) evictOver() {
+	if c.limit <= 0 {
+		return
+	}
+	for len(c.cells) > c.limit {
+		oldest := c.order.Back()
+		if oldest == nil {
+			return
+		}
+		c.order.Remove(oldest)
+		delete(c.cells, oldest.Value.(Cell).Key)
+		c.evictions++
+	}
+}
+
+// Cell looks up a completed cell by key, refreshing its LRU recency.
 func (c *Cache) Cell(key string) (Cell, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	cell, ok := c.cells[key]
-	return cell, ok
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.cells[key]
+	if !ok {
+		c.misses++
+		return Cell{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(Cell), true
 }
 
-// PutCell stores a completed cell.
+// PutCell stores a completed cell, evicting the least recently used cell
+// if a limit is set and exceeded.
 func (c *Cache) PutCell(cell Cell) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.cells[cell.Key] = cell
+	if el, ok := c.cells[cell.Key]; ok {
+		el.Value = cell
+		c.order.MoveToFront(el)
+		return
+	}
+	c.cells[cell.Key] = c.order.PushFront(cell)
+	c.evictOver()
 }
 
 // Tuning looks up a completed tuning by key.
 func (c *Cache) Tuning(key string) (design.Tuning, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	tn, ok := c.tunings[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
 	return tn, ok
 }
 
@@ -98,7 +182,17 @@ func (c *Cache) PutTuning(key string, tn design.Tuning) {
 
 // Len returns the number of cached cells plus tunings.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.cells) + len(c.tunings)
+}
+
+// Stats returns a snapshot of the cache's size and lookup counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Cells: len(c.cells), Tunings: len(c.tunings), Limit: c.limit,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
 }

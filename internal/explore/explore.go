@@ -116,6 +116,22 @@ func WithProgress(fn func(Progress)) Option {
 	return func(e *Explorer) error { e.progress = fn; return nil }
 }
 
+// WithCacheLimit caps the result cache at n cells, evicting least
+// recently used entries beyond it (see Cache.SetLimit). The default is
+// unlimited — the right choice for one-shot CLI sweeps; a long-running
+// daemon sets a limit to bound memory. The cap applies to the explorer's
+// cache whether private or shared via WithCache, and n must be positive
+// (use no option at all for unlimited).
+func WithCacheLimit(n int) Option {
+	return func(e *Explorer) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: cache limit %d must be positive", design.ErrBadOptions, n)
+		}
+		e.cacheLimit = n
+		return nil
+	}
+}
+
 // Explorer orchestrates cached, journaled, cancellable sweeps. Construct
 // with New, run Sweep/Tune (any number of times; the cache accumulates),
 // then Close to release the journal.
@@ -125,6 +141,7 @@ type Explorer struct {
 	parallelism  int
 	configure    design.ConfigureFunc
 	cache        *Cache
+	cacheLimit   int
 	journalPath  string
 	resume       bool
 	progress     func(Progress)
@@ -155,6 +172,9 @@ func New(opts ...Option) (*Explorer, error) {
 	}
 	if e.cache == nil {
 		e.cache = NewCache()
+	}
+	if e.cacheLimit > 0 {
+		e.cache.SetLimit(e.cacheLimit)
 	}
 	if err := (design.SweepOptions{
 		Scale: e.scale, ThreadCounts: e.threadCounts,
@@ -194,6 +214,20 @@ func (e *Explorer) LastProgress() Progress {
 	return e.last
 }
 
+// SweepSpec overrides an Explorer's defaults for one sweep, so a shared
+// explorer (the daemon's) can serve sweeps at different scales and thread
+// counts without being rebuilt. Zero fields fall back to the explorer's
+// construction-time options.
+type SweepSpec struct {
+	// Scale overrides WithScale when non-zero.
+	Scale workload.Scale
+	// ThreadCounts overrides WithThreadCounts when non-empty.
+	ThreadCounts []int
+	// Progress overrides WithProgress when non-nil, letting concurrent
+	// sweeps report progress independently.
+	Progress func(Progress)
+}
+
 // Sweep evaluates every design point on every workload, in the same shape
 // design.Sweep returns, but cell by cell through the cache and journal.
 // On cancellation it returns the partial results together with an error
@@ -201,11 +235,35 @@ func (e *Explorer) LastProgress() Progress {
 // with the same journal and resume resumes where this run stopped and the
 // merged results are identical to an uninterrupted sweep.
 func (e *Explorer) Sweep(ctx context.Context, points []design.Point, apps []workload.Workload) ([]design.SweepResult, error) {
+	return e.SweepWith(ctx, points, apps, SweepSpec{})
+}
+
+// SweepWith is Sweep with per-call overrides. Overridden options are
+// validated eagerly (errors wrap design.ErrBadOptions).
+func (e *Explorer) SweepWith(ctx context.Context, points []design.Point, apps []workload.Workload, spec SweepSpec) ([]design.SweepResult, error) {
+	scale, threadCounts := e.scale, e.threadCounts
+	if spec.Scale != (workload.Scale{}) {
+		scale = spec.Scale
+	}
+	if len(spec.ThreadCounts) > 0 {
+		threadCounts = spec.ThreadCounts
+	}
+	progress := e.progress
+	if spec.Progress != nil {
+		progress = spec.Progress
+	}
+	if err := (design.SweepOptions{
+		Scale: scale, ThreadCounts: threadCounts,
+		Parallelism: e.parallelism, Configure: e.configure,
+	}).Validate(); err != nil {
+		return nil, err
+	}
+
 	// Build instances and per-point configurations once, up front; both
 	// are read-only during simulation.
 	instances := make([]*workload.Instance, len(apps))
 	for i, w := range apps {
-		instances[i] = w.Build(e.scale)
+		instances[i] = w.Build(scale)
 	}
 	configs := make([]sim.Config, len(points))
 	keys := make([][]string, len(points))
@@ -213,7 +271,7 @@ func (e *Explorer) Sweep(ctx context.Context, points []design.Point, apps []work
 		configs[pi] = e.configure(pt)
 		keys[pi] = make([]string, len(apps))
 		for ai, w := range apps {
-			keys[pi][ai] = CellKey(configs[pi], w.Name, e.scale, e.threadCounts)
+			keys[pi][ai] = CellKey(configs[pi], w.Name, scale, threadCounts)
 		}
 	}
 
@@ -245,8 +303,8 @@ func (e *Explorer) Sweep(ctx context.Context, points []design.Point, apps []work
 		e.mu.Unlock()
 		// The callback runs under progMu so invocations are serialized
 		// and in Done order; it must not call back into Sweep.
-		if e.progress != nil {
-			e.progress(snap)
+		if progress != nil {
+			progress(snap)
 		}
 		progMu.Unlock()
 	}
@@ -268,7 +326,7 @@ func (e *Explorer) Sweep(ctx context.Context, points []design.Point, apps []work
 				if ctx.Err() != nil {
 					continue // drain the queue without simulating
 				}
-				br, err := design.BestThreadsContext(ctx, configs[job.pi], instances[job.ai], e.threadCounts)
+				br, err := design.BestThreadsContext(ctx, configs[job.pi], instances[job.ai], threadCounts)
 				if err != nil && ctx.Err() != nil {
 					// Cancelled mid-cell: do not cache or journal a
 					// non-deterministic partial outcome.
@@ -372,6 +430,54 @@ func assemble(points []design.Point, apps []workload.Workload, cells [][]Cell, c
 	}
 	return results
 }
+
+// RunOne evaluates a single (configuration, workload, scale, thread
+// counts) cell through the cache and journal: a previously cached or
+// journaled cell is returned without simulating (cached true), otherwise
+// the best-thread-count search runs under ctx and the outcome — including
+// a deterministic failure, recorded in Cell.Err — is cached and journaled
+// exactly as Sweep would. It is the daemon's unit of work for POST
+// /v1/runs: because the key is content-addressed, concurrent or repeated
+// identical requests cost at most one simulation.
+//
+// The error return is reserved for non-deterministic outcomes that must
+// not be cached: cancellation and malformed arguments.
+func (e *Explorer) RunOne(ctx context.Context, cfg sim.Config, w workload.Workload, sc workload.Scale, threadCounts []int) (Cell, bool, error) {
+	if err := (design.SweepOptions{
+		Scale: sc, ThreadCounts: threadCounts,
+		Parallelism: e.parallelism, Configure: e.configure,
+	}).Validate(); err != nil {
+		return Cell{}, false, err
+	}
+	key := CellKey(cfg, w.Name, sc, threadCounts)
+	if cell, ok := e.cache.Cell(key); ok {
+		return cell, true, nil
+	}
+	inst := w.Build(sc)
+	br, err := design.BestThreadsContext(ctx, cfg, inst, threadCounts)
+	if err != nil && ctx.Err() != nil {
+		// Cancelled mid-cell: do not cache a partial outcome.
+		return Cell{}, false, err
+	}
+	cell := Cell{Key: key, App: w.Name, Arch: cfg.Arch.String()}
+	if err != nil {
+		cell.Err = err.Error()
+	} else {
+		cell.AIPC, cell.Threads = br.AIPC, br.Threads
+		cell.Cycles, cell.SimCycles = br.Cycles, br.SimCycles
+	}
+	e.cache.PutCell(cell)
+	if e.journal != nil {
+		if jerr := e.journal.append(cellRecord(cell)); jerr != nil {
+			return cell, false, jerr
+		}
+	}
+	return cell, false, nil
+}
+
+// Cache returns the explorer's result cache (private or shared), for
+// callers that report its statistics or pre-warm it.
+func (e *Explorer) Cache() *Cache { return e.cache }
 
 // Tune runs the Table 4 procedure for one workload through the cache and
 // journal: a previously journaled tuning with the same workload, schedule

@@ -1,0 +1,507 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"wavescalar/internal/area"
+	"wavescalar/internal/cli"
+	"wavescalar/internal/design"
+	"wavescalar/internal/explore"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/version"
+	"wavescalar/internal/workload"
+)
+
+// routes builds the instrumented mux. Every route is wrapped so request
+// counts and latency histograms are labeled by pattern, not raw URL (no
+// cardinality explosion from job ids).
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /v1/workloads", s.handleWorkloads)
+	handle("GET /v1/designs", s.handleDesigns)
+	handle("POST /v1/runs", s.handleRun)
+	handle("POST /v1/sweeps", s.handleSweep)
+	handle("GET /v1/jobs/{id}", s.handleJobGet)
+	handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	return mux
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.metrics.observeRequest(pattern, r.Method, sw.code, time.Since(start).Seconds())
+	})
+}
+
+// writeJSON responds with one JSON object in the shared CLI convention.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	cli.WriteJSON(w, v)
+}
+
+// writeErr responds with the API's uniform error shape.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// archSpec is the request-side architecture description: any subset of
+// the seven Table 3 parameters plus the k-loop bound; omitted fields keep
+// their Table 1 baseline values.
+type archSpec struct {
+	Clusters int `json:"clusters"`
+	Domains  int `json:"domains"`
+	PEs      int `json:"pes"`
+	Virt     int `json:"virt"`
+	Match    int `json:"match"`
+	L1KB     int `json:"l1_kb"`
+	L2MB     int `json:"l2_mb"`
+	K        int `json:"k"`
+}
+
+// resolve merges the spec over the baseline and validates the result.
+func (a *archSpec) resolve() (sim.Config, error) {
+	arch := sim.BaselineArch()
+	if a != nil {
+		set := func(dst *int, v int) {
+			if v != 0 {
+				*dst = v
+			}
+		}
+		set(&arch.Clusters, a.Clusters)
+		set(&arch.Domains, a.Domains)
+		set(&arch.PEs, a.PEs)
+		set(&arch.Virt, a.Virt)
+		set(&arch.Match, a.Match)
+		set(&arch.L1KB, a.L1KB)
+		set(&arch.L2MB, a.L2MB)
+	}
+	cfg := sim.Baseline(arch)
+	if a != nil && a.K != 0 {
+		cfg.K = a.K
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}
+
+// runRequest is the body of POST /v1/runs.
+type runRequest struct {
+	Workload string    `json:"workload"`
+	Scale    string    `json:"scale,omitempty"`     // default "tiny"
+	Threads  int       `json:"threads,omitempty"`   // default 1
+	Config   *archSpec `json:"config,omitempty"`    // default Table 1 baseline
+	TimeoutS float64   `json:"timeout_s,omitempty"` // wait bound; default server-wide
+}
+
+// runResult is the deterministic payload of one measurement — derived
+// entirely from the cached cell, so cold runs, singleflight followers and
+// warm-restart cache hits serve byte-identical results.
+type runResult struct {
+	App       string  `json:"app"`
+	Arch      string  `json:"arch"`
+	AreaMM2   float64 `json:"area_mm2"`
+	Scale     string  `json:"scale"`
+	Threads   int     `json:"threads"`
+	AIPC      float64 `json:"aipc"`
+	Cycles    uint64  `json:"cycles"`
+	SimCycles uint64  `json:"sim_cycles"`
+	Err       string  `json:"err,omitempty"`
+}
+
+type runResponse struct {
+	Key    string    `json:"key"`
+	Cached bool      `json:"cached"`
+	Result runResult `json:"result"`
+}
+
+func cellResult(cell explore.Cell, areaMM2 float64, scale string) runResult {
+	return runResult{
+		App: cell.App, Arch: cell.Arch, AreaMM2: areaMM2, Scale: scale,
+		Threads: cell.Threads, AIPC: cell.AIPC,
+		Cycles: cell.Cycles, SimCycles: cell.SimCycles, Err: cell.Err,
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Workload == "" {
+		writeErr(w, http.StatusBadRequest, "workload is required")
+		return
+	}
+	wl, ok := workload.ByName(req.Workload)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown workload %q", req.Workload)
+		return
+	}
+	scaleName := req.Scale
+	if scaleName == "" {
+		scaleName = "tiny"
+	}
+	sc, err := cli.ParseScale(scaleName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Threads == 0 {
+		req.Threads = 1
+	}
+	if req.Threads < 0 {
+		writeErr(w, http.StatusBadRequest, "threads %d must be positive", req.Threads)
+		return
+	}
+	cfg, err := req.Config.resolve()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad config: %v", err)
+		return
+	}
+	areaMM2 := area.Total(cfg.Arch)
+	key := explore.CellKey(cfg, wl.Name, sc, []int{req.Threads})
+
+	// Fast path: the cache (memory or replayed journal) already has it.
+	if cell, ok := s.cache.Cell(key); ok {
+		writeJSON(w, http.StatusOK, runResponse{Key: key, Cached: true, Result: cellResult(cell, areaMM2, scaleName)})
+		return
+	}
+	if s.isClosing() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+
+	call, leader := s.flight.join(key)
+	if leader {
+		jb := &job{
+			kind: "run", key: key, call: call,
+			run: &runSpec{cfg: cfg, w: wl, scale: sc, threads: req.Threads},
+		}
+		if err := s.enqueue(jb); err != nil {
+			s.flight.abandon(key, call, err)
+			if errors.Is(err, errQueueFull) {
+				s.metrics.add(&s.metrics.rejectedFull, 1)
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusTooManyRequests, "admission queue full; retry")
+			} else {
+				writeErr(w, http.StatusServiceUnavailable, "shutting down")
+			}
+			return
+		}
+	} else {
+		s.metrics.add(&s.metrics.dedupShared, 1)
+	}
+
+	timeout := s.requestTimeout
+	if req.TimeoutS > 0 {
+		timeout = time.Duration(req.TimeoutS * float64(time.Second))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	select {
+	case <-call.done:
+		if call.err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v", call.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, runResponse{Key: key, Cached: false, Result: cellResult(call.cell, areaMM2, scaleName)})
+	case <-ctx.Done():
+		// The simulation keeps running and will be cached; a retry after
+		// it completes is a cache hit.
+		writeErr(w, http.StatusGatewayTimeout, "deadline exceeded waiting for simulation; retry later for the cached result")
+	}
+}
+
+// sweepRequest is the body of POST /v1/sweeps: a suite (or explicit app
+// list) evaluated over the viable design space, optionally subsampled.
+type sweepRequest struct {
+	Suite        string   `json:"suite,omitempty"`
+	Apps         []string `json:"apps,omitempty"`
+	Scale        string   `json:"scale,omitempty"`         // default "tiny"
+	ThreadCounts []int    `json:"thread_counts,omitempty"` // default {1}; splash2 defaults to {1,4,16,64}
+	MaxPoints    int      `json:"max_points,omitempty"`    // 0 = every viable design
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	var apps []workload.Workload
+	switch {
+	case len(req.Apps) > 0:
+		for _, name := range req.Apps {
+			wl, ok := workload.ByName(name)
+			if !ok {
+				writeErr(w, http.StatusNotFound, "unknown workload %q", name)
+				return
+			}
+			apps = append(apps, wl)
+		}
+	case req.Suite != "":
+		suite, ok := suiteByName(req.Suite)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "unknown suite %q (spec2000, mediabench, splash2)", req.Suite)
+			return
+		}
+		apps = workload.BySuite(suite)
+	default:
+		writeErr(w, http.StatusBadRequest, "suite or apps is required")
+		return
+	}
+
+	scaleName := req.Scale
+	if scaleName == "" {
+		scaleName = "tiny"
+	}
+	sc, err := cli.ParseScale(scaleName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	counts := req.ThreadCounts
+	if len(counts) == 0 {
+		counts = []int{1}
+		if req.Suite == "splash2" {
+			counts = []int{1, 4, 16, 64}
+		}
+	}
+	for _, n := range counts {
+		if n < 1 {
+			writeErr(w, http.StatusBadRequest, "thread count %d must be positive", n)
+			return
+		}
+	}
+	points := design.Viable()
+	if req.MaxPoints > 0 && req.MaxPoints < len(points) {
+		points = subsample(points, req.MaxPoints)
+	}
+	if s.isClosing() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	jb := &job{
+		kind:  "sweep",
+		sweep: &sweepSpec{points: points, apps: apps, scale: sc, threadCounts: counts},
+		ctx:   ctx, cancel: cancel,
+		state: stateQueued,
+	}
+	jb.progress.Total = len(points) * len(apps)
+	id := s.jobs.add(jb)
+	if err := s.enqueue(jb); err != nil {
+		s.jobs.remove(id)
+		cancel()
+		if errors.Is(err, errQueueFull) {
+			s.metrics.add(&s.metrics.rejectedFull, 1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "admission queue full; retry")
+		} else {
+			writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id": id, "status": stateQueued,
+		"cells": len(points) * len(apps),
+		"poll":  "/v1/jobs/" + id,
+	})
+}
+
+// subsample picks n points evenly across the ordered design list, the
+// same policy as wspareto -max.
+func subsample(pts []design.Point, n int) []design.Point {
+	out := make([]design.Point, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pts[i*len(pts)/n])
+	}
+	return out
+}
+
+func suiteByName(name string) (workload.Suite, bool) {
+	for _, su := range []workload.Suite{workload.Spec, workload.Media, workload.Splash} {
+		if su.String() == name {
+			return su, true
+		}
+	}
+	return 0, false
+}
+
+// jobProgress is the wire form of a sweep's progress.
+type jobProgress struct {
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
+	CacheHits int     `json:"cache_hits"`
+	Simulated int     `json:"simulated"`
+	Failed    int     `json:"failed"`
+	SimCycles uint64  `json:"sim_cycles"`
+	ElapsedS  float64 `json:"elapsed_s"`
+}
+
+// sweepRow is one design's outcome in a finished sweep job.
+type sweepRow struct {
+	Arch     string             `json:"arch"`
+	AreaMM2  float64            `json:"area_mm2"`
+	MeanAIPC float64            `json:"mean_aipc"`
+	AIPC     map[string]float64 `json:"aipc,omitempty"`
+	Threads  map[string]int     `json:"threads,omitempty"`
+	Err      string             `json:"err,omitempty"`
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	jb, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	state, p, results, jerr := jb.snapshot()
+	resp := map[string]any{
+		"id":    id,
+		"state": state,
+		"progress": jobProgress{
+			Done: p.Done, Total: p.Total, CacheHits: p.CacheHits,
+			Simulated: p.Simulated, Failed: p.Failed, SimCycles: p.SimCycles,
+			ElapsedS: p.Elapsed.Seconds(),
+		},
+	}
+	if jerr != nil {
+		resp["error"] = jerr.Error()
+	}
+	if state == stateDone {
+		rows := make([]sweepRow, len(results))
+		for i, res := range results {
+			rows[i] = sweepRow{
+				Arch: res.Arch.String(), AreaMM2: res.Area, MeanAIPC: res.Mean,
+				AIPC: res.AIPC, Threads: res.Threads,
+			}
+			if res.Err != nil {
+				rows[i].Err = res.Err.Error()
+			}
+		}
+		frontier := design.Frontier(results)
+		front := make([]map[string]any, len(frontier))
+		for i, f := range frontier {
+			front[i] = map[string]any{"arch": f.Arch.String(), "area_mm2": f.Area, "aipc": f.AIPC}
+		}
+		resp["result"] = map[string]any{"designs": rows, "frontier": front}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	jb, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	jb.cancel()
+	state, _, _, _ := jb.snapshot()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": state, "status": "cancel requested"})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	all := workload.All()
+	rows := make([]map[string]string, len(all))
+	for i, wl := range all {
+		rows[i] = map[string]string{"name": wl.Name, "suite": wl.Suite.String()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "workloads": rows})
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	points := design.Viable()
+	if maxStr := r.URL.Query().Get("max"); maxStr != "" {
+		var n int
+		if _, err := fmt.Sscanf(maxStr, "%d", &n); err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "bad max %q", maxStr)
+			return
+		}
+		if n < len(points) {
+			points = subsample(points, n)
+		}
+	}
+	rows := make([]map[string]any, len(points))
+	for i, pt := range points {
+		rows[i] = map[string]any{
+			"arch": pt.Arch, "arch_string": pt.Arch.String(),
+			"area_mm2": pt.Area, "total_pes": pt.Arch.TotalPEs(),
+			"capacity": pt.Arch.Capacity(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "designs": rows})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	body := map[string]any{
+		"status":         "ok",
+		"version":        version.Get("wsd"),
+		"workers":        s.workers,
+		"busy":           s.busy.Load(),
+		"queue_depth":    len(s.queue),
+		"queue_capacity": s.queueDepth,
+		"cache": map[string]any{
+			"cells": st.Cells, "limit": st.Limit,
+			"hits": st.Hits, "misses": st.Misses,
+			"evictions": st.Evictions, "hit_ratio": st.HitRatio(),
+		},
+		"uptime_s": time.Since(s.start).Seconds(),
+	}
+	if s.isClosing() {
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, []gauge{
+		{"wsd_queue_depth", "Jobs waiting in the admission queue.", float64(len(s.queue))},
+		{"wsd_queue_capacity", "Admission queue bound.", float64(s.queueDepth)},
+		{"wsd_workers", "Worker pool size.", float64(s.workers)},
+		{"wsd_workers_busy", "Workers executing a job right now.", float64(s.busy.Load())},
+		{"wsd_cache_entries", "Cells in the result cache.", float64(st.Cells)},
+		{"wsd_cache_limit", "LRU cap on the result cache (0 = unlimited).", float64(st.Limit)},
+		{"wsd_cache_hits_total", "Result-cache lookups answered without simulating.", float64(st.Hits)},
+		{"wsd_cache_misses_total", "Result-cache lookups that required work.", float64(st.Misses)},
+		{"wsd_cache_evictions_total", "Cells evicted by the LRU limit.", float64(st.Evictions)},
+		{"wsd_cache_hit_ratio", "Hits over all cache lookups.", st.HitRatio()},
+	})
+}

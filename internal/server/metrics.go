@@ -1,0 +1,165 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metrics is a minimal Prometheus-exposition registry. The repo takes no
+// dependencies, so the daemon hand-rolls the text format (which is the
+// stable, officially documented wire format): counters for requests,
+// simulations, jobs and dedup; histograms for request latency; gauges are
+// sampled live at scrape time by the /metrics handler.
+type metrics struct {
+	mu sync.Mutex
+	// requests[path][method|code] — request counts by route and outcome.
+	requests map[string]map[string]uint64
+	// latency[path] — request duration histograms by route.
+	latency map[string]*histogram
+
+	simsCompleted, simsFailed, simsCancelled uint64
+	jobsCompleted, jobsFailed, jobsCancelled uint64
+	dedupShared, rejectedFull                uint64
+	journalErrors                            uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[string]uint64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// observeRequest records one finished HTTP request.
+func (m *metrics) observeRequest(path, method string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byOutcome := m.requests[path]
+	if byOutcome == nil {
+		byOutcome = make(map[string]uint64)
+		m.requests[path] = byOutcome
+	}
+	byOutcome[fmt.Sprintf("%s|%d", method, code)]++
+	h := m.latency[path]
+	if h == nil {
+		h = newHistogram()
+		m.latency[path] = h
+	}
+	h.observe(seconds)
+}
+
+func (m *metrics) add(counter *uint64, n uint64) {
+	m.mu.Lock()
+	*counter += n
+	m.mu.Unlock()
+}
+
+// latencyBuckets are the histogram upper bounds in seconds: simulations
+// range from sub-millisecond cache hits to multi-second medium-scale runs.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+type histogram struct {
+	counts []uint64 // one per bucket, non-cumulative
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets))}
+}
+
+// observe records one value. Callers hold metrics.mu.
+func (h *histogram) observe(v float64) {
+	for i, le := range latencyBuckets {
+		if v <= le {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.total++
+}
+
+// gauge is one live-sampled value for the exposition.
+type gauge struct {
+	name, help string
+	value      float64
+}
+
+// write renders the registry plus the sampled gauges in Prometheus text
+// exposition format, deterministically ordered.
+func (m *metrics) write(w io.Writer, gauges []gauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprint(w, "# HELP wsd_http_requests_total HTTP requests by route, method and status code.\n")
+	fmt.Fprint(w, "# TYPE wsd_http_requests_total counter\n")
+	for _, path := range sortedKeys(m.requests) {
+		byOutcome := m.requests[path]
+		outcomes := make([]string, 0, len(byOutcome))
+		for k := range byOutcome {
+			outcomes = append(outcomes, k)
+		}
+		sort.Strings(outcomes)
+		for _, k := range outcomes {
+			method, code, _ := strings.Cut(k, "|")
+			fmt.Fprintf(w, "wsd_http_requests_total{path=%q,method=%q,code=%q} %d\n",
+				path, method, code, byOutcome[k])
+		}
+	}
+
+	fmt.Fprint(w, "# HELP wsd_http_request_duration_seconds HTTP request latency by route.\n")
+	fmt.Fprint(w, "# TYPE wsd_http_request_duration_seconds histogram\n")
+	for _, path := range sortedKeys(m.latency) {
+		h := m.latency[path]
+		cum := uint64(0)
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "wsd_http_request_duration_seconds_bucket{path=%q,le=\"%g\"} %d\n",
+				path, le, cum)
+		}
+		fmt.Fprintf(w, "wsd_http_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", path, h.total)
+		fmt.Fprintf(w, "wsd_http_request_duration_seconds_sum{path=%q} %g\n", path, h.sum)
+		fmt.Fprintf(w, "wsd_http_request_duration_seconds_count{path=%q} %d\n", path, h.total)
+	}
+
+	fmt.Fprint(w, "# HELP wsd_sims_total Simulations executed by the worker pool, by outcome.\n")
+	fmt.Fprint(w, "# TYPE wsd_sims_total counter\n")
+	fmt.Fprintf(w, "wsd_sims_total{outcome=\"completed\"} %d\n", m.simsCompleted)
+	fmt.Fprintf(w, "wsd_sims_total{outcome=\"failed\"} %d\n", m.simsFailed)
+	fmt.Fprintf(w, "wsd_sims_total{outcome=\"cancelled\"} %d\n", m.simsCancelled)
+
+	fmt.Fprint(w, "# HELP wsd_jobs_total Async sweep jobs finished, by outcome.\n")
+	fmt.Fprint(w, "# TYPE wsd_jobs_total counter\n")
+	fmt.Fprintf(w, "wsd_jobs_total{outcome=\"completed\"} %d\n", m.jobsCompleted)
+	fmt.Fprintf(w, "wsd_jobs_total{outcome=\"failed\"} %d\n", m.jobsFailed)
+	fmt.Fprintf(w, "wsd_jobs_total{outcome=\"cancelled\"} %d\n", m.jobsCancelled)
+
+	fmt.Fprint(w, "# HELP wsd_singleflight_shared_total Run requests that piggybacked on an identical in-flight simulation.\n")
+	fmt.Fprint(w, "# TYPE wsd_singleflight_shared_total counter\n")
+	fmt.Fprintf(w, "wsd_singleflight_shared_total %d\n", m.dedupShared)
+
+	fmt.Fprint(w, "# HELP wsd_admission_rejected_total Requests rejected with 429 because the queue was full.\n")
+	fmt.Fprint(w, "# TYPE wsd_admission_rejected_total counter\n")
+	fmt.Fprintf(w, "wsd_admission_rejected_total %d\n", m.rejectedFull)
+
+	fmt.Fprint(w, "# HELP wsd_journal_errors_total Journal appends that failed (results still served from memory).\n")
+	fmt.Fprint(w, "# TYPE wsd_journal_errors_total counter\n")
+	fmt.Fprintf(w, "wsd_journal_errors_total %d\n", m.journalErrors)
+
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,44 @@
+// Package version carries the build identity shared by every wavescalar
+// binary: the seven CLIs and the wsd daemon all report the same triple,
+// injected at link time:
+//
+//	go build -ldflags "\
+//	  -X wavescalar/internal/version.Version=v1.2.3 \
+//	  -X wavescalar/internal/version.Commit=$(git rev-parse --short HEAD) \
+//	  -X wavescalar/internal/version.Date=$(date -u +%Y-%m-%dT%H:%M:%SZ)" ./...
+//
+// Unlinked builds (go run, go test) report the "dev" defaults.
+package version
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Link-time variables; see the package comment for the -ldflags recipe.
+var (
+	Version = "dev"
+	Commit  = "unknown"
+	Date    = "unknown"
+)
+
+// Info is the build identity of one tool, JSON-encodable for the daemon's
+// /healthz payload.
+type Info struct {
+	Tool    string `json:"tool"`
+	Version string `json:"version"`
+	Commit  string `json:"commit"`
+	Date    string `json:"date"`
+	Go      string `json:"go"`
+}
+
+// Get returns the build identity for the named tool.
+func Get(tool string) Info {
+	return Info{Tool: tool, Version: Version, Commit: Commit, Date: Date, Go: runtime.Version()}
+}
+
+// Line renders the one-line form every CLI's -version flag prints.
+func Line(tool string) string {
+	i := Get(tool)
+	return fmt.Sprintf("%s %s (commit %s, built %s, %s)", i.Tool, i.Version, i.Commit, i.Date, i.Go)
+}

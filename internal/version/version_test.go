@@ -1,0 +1,19 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineAndGet(t *testing.T) {
+	i := Get("wsim")
+	if i.Tool != "wsim" || i.Version == "" || i.Go == "" {
+		t.Errorf("incomplete info: %+v", i)
+	}
+	line := Line("wsd")
+	for _, want := range []string{"wsd", Version, Commit, "go"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Line(%q) = %q, missing %q", "wsd", line, want)
+		}
+	}
+}

@@ -3,7 +3,7 @@
 // "Area-Performance Trade-offs in Tiled Dataflow Architectures"
 // (Swanson et al., ISCA 2006).
 //
-// The package exposes five layers:
+// The package exposes six layers:
 //
 //   - Programs: build WaveScalar dataflow graphs with NewProgram (loops,
 //     steering, wave-ordered memory) or use the bundled benchmark suite
@@ -18,6 +18,9 @@
 //     TuneMatchingTable).
 //   - Exploration: the resumable, cancellable sweep engine with result
 //     caching and journaling (NewExplorer with functional options).
+//   - Serving: the simulation-as-a-service daemon — an HTTP/JSON API over
+//     the exploration engine with singleflight dedup, a bounded worker
+//     pool and Prometheus metrics (NewServer; cmd/wsd).
 //
 // Context-aware entry points (RunWorkloadContext, Explorer.Sweep) accept
 // a context.Context and stop within a few thousand simulated cycles of
@@ -28,6 +31,7 @@ package wavescalar
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"wavescalar/internal/area"
 	"wavescalar/internal/design"
@@ -36,6 +40,7 @@ import (
 	"wavescalar/internal/graph"
 	"wavescalar/internal/isa"
 	"wavescalar/internal/ref"
+	"wavescalar/internal/server"
 	"wavescalar/internal/sim"
 	"wavescalar/internal/trace"
 	"wavescalar/internal/workload"
@@ -419,6 +424,62 @@ func WithThreadCounts(counts ...int) ExploreOption { return explore.WithThreadCo
 
 // WithConfigure sets the per-point microarchitecture adapter.
 func WithConfigure(fn ConfigureFunc) ExploreOption { return explore.WithConfigure(fn) }
+
+// WithCacheLimit caps the result cache at n cells with LRU eviction
+// (default: unlimited). Evictions are counted in the cache's Stats.
+func WithCacheLimit(n int) ExploreOption { return explore.WithCacheLimit(n) }
+
+// Serving: the simulation-as-a-service daemon (internal/server), an
+// HTTP/JSON API over the exploration engine with a bounded worker pool,
+// singleflight deduplication of identical in-flight runs, and Prometheus
+// metrics. cmd/wsd is the thin binary around it.
+
+type (
+	// Server is the daemon: an http.Handler plus the worker pool behind
+	// it. Build one with NewServer, serve it with net/http, then Shutdown
+	// to drain.
+	Server = server.Server
+	// ServerOption is a functional option for NewServer.
+	ServerOption = server.Option
+)
+
+// NewServer builds and starts the simulation daemon. With no options it
+// uses GOMAXPROCS workers, a 64-deep admission queue, a 60s request
+// timeout and a fresh private cache. Options are validated eagerly
+// (errors wrap ErrBadOptions).
+//
+//	srv, err := wavescalar.NewServer(
+//		wavescalar.ServerJournal("wsd.jsonl", true), // warm restart
+//		wavescalar.ServerCacheLimit(10000),
+//	)
+//	http.ListenAndServe(":8080", srv)
+func NewServer(opts ...ServerOption) (*Server, error) { return server.New(opts...) }
+
+// ServerWorkers sets the worker-pool size (default GOMAXPROCS).
+func ServerWorkers(n int) ServerOption { return server.WithWorkers(n) }
+
+// ServerQueueDepth bounds the admission queue; a full queue rejects new
+// work with 429 (default 64).
+func ServerQueueDepth(n int) ServerOption { return server.WithQueueDepth(n) }
+
+// ServerRequestTimeout bounds how long a synchronous run request waits
+// for its simulation (default 60s).
+func ServerRequestTimeout(d time.Duration) ServerOption { return server.WithRequestTimeout(d) }
+
+// ServerCache shares a result cache with other explorers or servers.
+func ServerCache(c *ExploreCache) ServerOption { return server.WithCache(c) }
+
+// ServerCacheLimit caps the daemon's result cache at n cells with LRU
+// eviction.
+func ServerCacheLimit(n int) ServerOption { return server.WithCacheLimit(n) }
+
+// ServerJournal backs the daemon's cache with a JSONL journal; with
+// resume set, existing records are replayed at startup.
+func ServerJournal(path string, resume bool) ServerOption { return server.WithJournal(path, resume) }
+
+// ServerParallelism sets how many simulations a sweep job runs
+// concurrently (default GOMAXPROCS).
+func ServerParallelism(n int) ServerOption { return server.WithParallelism(n) }
 
 // Energy model (an extension beyond the paper, which defers power to
 // future work).
