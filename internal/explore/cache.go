@@ -21,10 +21,19 @@ import (
 // The daemon uses the same key for request deduplication, so a cell
 // simulated by a CLI sweep and journaled is a cache hit for an identical
 // HTTP request after a warm restart.
+// A fault script contributes its canonical digest, not its pointer (which
+// would change every process) — and only when non-empty, so keys for
+// clean runs are unchanged and journals from before fault injection
+// existed still resume.
 func CellKey(cfg sim.Config, app string, sc workload.Scale, threadCounts []int) string {
 	cfg.Trace = nil
+	script := cfg.Fault
+	cfg.Fault = nil
 	h := sha256.New()
 	fmt.Fprintf(h, "cell|%+v|%s|%+v|%v", cfg, app, sc, threadCounts)
+	if !script.Empty() {
+		fmt.Fprintf(h, "|fault|%s", script.Digest())
+	}
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 
@@ -33,8 +42,13 @@ func CellKey(cfg sim.Config, app string, sc workload.Scale, threadCounts []int) 
 // tuning schedule (scale, Ks, Us, Tol).
 func TuneKey(base sim.Config, app string, opt design.TuneOptions) string {
 	base.Trace = nil
+	script := base.Fault
+	base.Fault = nil
 	h := sha256.New()
 	fmt.Fprintf(h, "tune|%+v|%s|%+v|%v|%v|%v", base, app, opt.Scale, opt.Ks, opt.Us, opt.Tol)
+	if !script.Empty() {
+		fmt.Fprintf(h, "|fault|%s", script.Digest())
+	}
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 

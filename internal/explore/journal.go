@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"sync"
 
@@ -112,6 +113,12 @@ func loadJournal(path string, cache *Cache) (int, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return n, fmt.Errorf("explore: reading journal %s: %w", path, err)
+	}
+	if pendingErr != nil {
+		// Torn trailing record: the signature of a crash mid-append. The
+		// cell in flight is lost (it will re-simulate); everything before
+		// it was loaded, so warn and continue rather than refuse to resume.
+		log.Printf("explore: resume: skipping torn trailing journal record: %v", pendingErr)
 	}
 	return n, nil
 }

@@ -1,0 +1,288 @@
+// Package fault implements deterministic fault injection for the
+// WaveScalar simulator: scheduled hard faults (dead PEs, domains,
+// clusters, and inter-cluster links) plus seeded stochastic transients
+// (NoC link flips, memory-response drops and delays, store-buffer
+// issue delays).
+//
+// The package is the root of the fault subsystem's import graph and is
+// deliberately stdlib-only: sim, noc, place, explore, and server all
+// consume it without cycles.
+//
+// Determinism contract: every injection decision is a pure function of
+// (script, seed, cycle, site), computed with a splitmix64 counter hash —
+// no time, no math/rand, no global state. Two runs with the same
+// (config, workload, script, seed) therefore inject byte-identical fault
+// sequences and produce byte-identical statistics. An empty script (no
+// events, all rates zero) injects nothing and leaves the simulation
+// bit-for-bit identical to a faultless run.
+package fault
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Event kinds understood in fault scripts.
+const (
+	KindKillPE      = "kill_pe"      // one PE dies at Cycle
+	KindKillDomain  = "kill_domain"  // every PE in a domain dies
+	KindKillCluster = "kill_cluster" // every PE in a cluster dies
+	KindLinkDown    = "link_down"    // a grid link fails permanently (both directions)
+)
+
+// ErrBadScript wraps every script validation failure.
+var ErrBadScript = errors.New("fault: bad script")
+
+// Shape describes the machine a script targets, for validation.
+type Shape struct {
+	Clusters int
+	Domains  int // per cluster
+	PEs      int // per domain
+	GridW    int // NoC grid width (clusters laid out row-major)
+	GridH    int // NoC grid height
+}
+
+// TotalPEs returns the PE population of the machine.
+func (s Shape) TotalPEs() int { return s.Clusters * s.Domains * s.PEs }
+
+// Event is one scheduled hard fault.
+type Event struct {
+	Cycle uint64 `json:"cycle"`
+	Kind  string `json:"kind"`
+
+	// Target for the kill_* kinds. kill_cluster reads Cluster only,
+	// kill_domain reads Cluster+Domain, kill_pe all three.
+	Cluster int `json:"cluster,omitempty"`
+	Domain  int `json:"domain,omitempty"`
+	PE      int `json:"pe,omitempty"`
+
+	// Endpoints for link_down: the two adjacent clusters whose
+	// connecting grid link fails (both directions at once).
+	LinkA int `json:"link_a,omitempty"`
+	LinkB int `json:"link_b,omitempty"`
+}
+
+// Script is a reproducible degradation scenario: scheduled hard faults
+// plus seeded rates for stochastic transients. The zero value is the
+// empty script and injects nothing.
+type Script struct {
+	// Seed drives every stochastic decision. Scripts that differ only
+	// in Seed produce different transient sequences.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Events are the scheduled hard faults, applied when the simulated
+	// cycle reaches Event.Cycle. Order within a cycle follows the
+	// script order.
+	Events []Event `json:"events,omitempty"`
+
+	// LinkFlipRate is the per-traversal probability that a grid link
+	// corrupts a message, forcing a retransmit after LinkRetryCycles.
+	LinkFlipRate    float64 `json:"link_flip_rate,omitempty"`
+	LinkRetryCycles uint64  `json:"link_retry_cycles,omitempty"` // default 8
+
+	// MemDropRate is the per-completion probability that a memory
+	// response is lost; the simulator re-issues the request with
+	// exponential backoff up to MemRetryLimit attempts.
+	MemDropRate   float64 `json:"mem_drop_rate,omitempty"`
+	MemRetryLimit int     `json:"mem_retry_limit,omitempty"` // default 8 attempts
+
+	// MemDelayRate is the per-completion probability that a memory
+	// response is held for MemDelayCycles before delivery.
+	MemDelayRate   float64 `json:"mem_delay_rate,omitempty"`
+	MemDelayCycles uint64  `json:"mem_delay_cycles,omitempty"` // default 16
+
+	// SBDelayRate is the per-operation probability that a store-buffer
+	// issue is stalled an extra SBDelayCycles.
+	SBDelayRate   float64 `json:"sb_delay_rate,omitempty"`
+	SBDelayCycles uint64  `json:"sb_delay_cycles,omitempty"` // default 8
+
+	// RemapPenalty is how many cycles state migrated off a killed PE is
+	// held before it becomes eligible again (models re-placement cost).
+	RemapPenalty uint64 `json:"remap_penalty,omitempty"` // default 64
+}
+
+// Defaults for the zero-valued tuning knobs.
+const (
+	DefaultLinkRetryCycles = 8
+	DefaultMemRetryLimit   = 8
+	DefaultMemDelayCycles  = 16
+	DefaultSBDelayCycles   = 8
+	DefaultRemapPenalty    = 64
+)
+
+// ParseScript decodes a JSON fault script, rejecting unknown fields so a
+// typo'd knob fails loudly instead of silently injecting nothing.
+func ParseScript(data []byte) (*Script, error) {
+	var s Script
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadScript, err)
+	}
+	// Trailing garbage after the object is a malformed script too.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after script object", ErrBadScript)
+	}
+	return &s, nil
+}
+
+// Empty reports whether the script injects nothing at all. A nil script
+// is empty.
+func (s *Script) Empty() bool {
+	if s == nil {
+		return true
+	}
+	return len(s.Events) == 0 && s.LinkFlipRate == 0 &&
+		s.MemDropRate == 0 && s.MemDelayRate == 0 && s.SBDelayRate == 0
+}
+
+// Validate checks the script against a machine shape. A nil script is
+// valid (it is the empty script).
+func (s *Script) Validate(shape Shape) error {
+	if s == nil {
+		return nil
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"link_flip_rate", s.LinkFlipRate},
+		{"mem_drop_rate", s.MemDropRate},
+		{"mem_delay_rate", s.MemDelayRate},
+		{"sb_delay_rate", s.SBDelayRate},
+	} {
+		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
+			return fmt.Errorf("%w: %s %v outside [0,1]", ErrBadScript, r.name, r.v)
+		}
+	}
+	if s.MemRetryLimit < 0 {
+		return fmt.Errorf("%w: mem_retry_limit %d negative", ErrBadScript, s.MemRetryLimit)
+	}
+	for i, e := range s.Events {
+		if err := e.validate(shape); err != nil {
+			return fmt.Errorf("%w: event %d: %v", ErrBadScript, i, err)
+		}
+	}
+	return nil
+}
+
+func (e Event) validate(shape Shape) error {
+	switch e.Kind {
+	case KindKillPE:
+		if e.Cluster < 0 || e.Cluster >= shape.Clusters ||
+			e.Domain < 0 || e.Domain >= shape.Domains ||
+			e.PE < 0 || e.PE >= shape.PEs {
+			return fmt.Errorf("%s target c%d.d%d.p%d outside machine %dx%dx%d",
+				e.Kind, e.Cluster, e.Domain, e.PE, shape.Clusters, shape.Domains, shape.PEs)
+		}
+	case KindKillDomain:
+		if e.Cluster < 0 || e.Cluster >= shape.Clusters || e.Domain < 0 || e.Domain >= shape.Domains {
+			return fmt.Errorf("%s target c%d.d%d outside machine %dx%d domains",
+				e.Kind, e.Cluster, e.Domain, shape.Clusters, shape.Domains)
+		}
+	case KindKillCluster:
+		if e.Cluster < 0 || e.Cluster >= shape.Clusters {
+			return fmt.Errorf("%s target c%d outside %d clusters", e.Kind, e.Cluster, shape.Clusters)
+		}
+	case KindLinkDown:
+		n := shape.GridW * shape.GridH
+		if e.LinkA < 0 || e.LinkA >= n || e.LinkB < 0 || e.LinkB >= n {
+			return fmt.Errorf("%s endpoints %d-%d outside %dx%d grid",
+				e.Kind, e.LinkA, e.LinkB, shape.GridW, shape.GridH)
+		}
+		ax, ay := e.LinkA%shape.GridW, e.LinkA/shape.GridW
+		bx, by := e.LinkB%shape.GridW, e.LinkB/shape.GridW
+		if abs(ax-bx)+abs(ay-by) != 1 {
+			return fmt.Errorf("%s endpoints %d-%d are not grid neighbours", e.Kind, e.LinkA, e.LinkB)
+		}
+	default:
+		return fmt.Errorf("unknown event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// Digest returns a stable content hash of the script for cache keying:
+// same scenario, same digest, across processes. A nil or empty script
+// digests to the empty string so clean runs keep their historical keys.
+func (s *Script) Digest() string {
+	if s.Empty() {
+		return ""
+	}
+	// Field order in the struct fixes the marshalled byte order, making
+	// the encoding canonical for our purposes.
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Script holds only plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("fault: digest marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// KillFractionScript builds a script that kills the given fraction of
+// the machine's PEs at the given cycle. Kill sets for increasing
+// fractions under the same seed are nested (the 25% set contains the
+// 10% set), so a degradation curve over fractions measures strictly
+// growing damage rather than unrelated kill patterns.
+func KillFractionScript(shape Shape, fraction float64, seed, cycle uint64) (*Script, error) {
+	if fraction < 0 || fraction > 1 || math.IsNaN(fraction) {
+		return nil, fmt.Errorf("%w: kill fraction %v outside [0,1]", ErrBadScript, fraction)
+	}
+	total := shape.TotalPEs()
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: empty machine shape %+v", ErrBadScript, shape)
+	}
+	n := int(math.Round(fraction * float64(total)))
+	perm := killOrder(shape, seed)
+	s := &Script{Seed: seed}
+	for _, pe := range perm[:n] {
+		s.Events = append(s.Events, Event{
+			Cycle: cycle, Kind: KindKillPE,
+			Cluster: pe.cluster, Domain: pe.domain, PE: pe.pe,
+		})
+	}
+	return s, nil
+}
+
+type peRef struct{ cluster, domain, pe int }
+
+// killOrder returns a seeded permutation of every PE in the machine:
+// the canonical kill order for KillFractionScript's nested sets.
+func killOrder(shape Shape, seed uint64) []peRef {
+	refs := make([]peRef, 0, shape.TotalPEs())
+	for c := 0; c < shape.Clusters; c++ {
+		for d := 0; d < shape.Domains; d++ {
+			for p := 0; p < shape.PEs; p++ {
+				refs = append(refs, peRef{c, d, p})
+			}
+		}
+	}
+	// Seeded Fisher-Yates with the same counter hash the injector uses.
+	for i := len(refs) - 1; i > 0; i-- {
+		j := int(Mix(seed, 0xF15E, uint64(i)) % uint64(i+1))
+		refs[i], refs[j] = refs[j], refs[i]
+	}
+	return refs
+}
+
+// sortEvents returns the events ordered by cycle, preserving script
+// order within a cycle (stable), without mutating the script.
+func sortEvents(evs []Event) []Event {
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

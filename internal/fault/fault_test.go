@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var testShape = Shape{Clusters: 4, Domains: 4, PEs: 8, GridW: 2, GridH: 2}
+
+func TestParseScriptRoundTrip(t *testing.T) {
+	src := `{
+		"seed": 7,
+		"events": [
+			{"cycle": 100, "kind": "kill_pe", "cluster": 1, "domain": 2, "pe": 3},
+			{"cycle": 50, "kind": "link_down", "link_a": 0, "link_b": 1}
+		],
+		"link_flip_rate": 0.01,
+		"mem_drop_rate": 0.001,
+		"mem_retry_limit": 3
+	}`
+	s, err := ParseScript([]byte(src))
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if err := s.Validate(testShape); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Seed != 7 || len(s.Events) != 2 || s.LinkFlipRate != 0.01 {
+		t.Fatalf("parsed wrong script: %+v", s)
+	}
+	if s.Empty() {
+		t.Fatal("script with events reported Empty")
+	}
+}
+
+func TestParseScriptRejectsUnknownField(t *testing.T) {
+	if _, err := ParseScript([]byte(`{"seed": 1, "link_flop_rate": 0.5}`)); !errors.Is(err, ErrBadScript) {
+		t.Fatalf("want ErrBadScript for unknown field, got %v", err)
+	}
+	if _, err := ParseScript([]byte(`{"seed": 1} trailing`)); !errors.Is(err, ErrBadScript) {
+		t.Fatalf("want ErrBadScript for trailing data, got %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Script
+	}{
+		{"rate above one", Script{LinkFlipRate: 1.5}},
+		{"negative rate", Script{MemDropRate: -0.1}},
+		{"negative retry limit", Script{MemRetryLimit: -1, MemDropRate: 0.5}},
+		{"unknown kind", Script{Events: []Event{{Kind: "melt_pe"}}}},
+		{"pe out of range", Script{Events: []Event{{Kind: KindKillPE, Cluster: 0, Domain: 0, PE: 99}}}},
+		{"domain out of range", Script{Events: []Event{{Kind: KindKillDomain, Cluster: 0, Domain: 9}}}},
+		{"cluster out of range", Script{Events: []Event{{Kind: KindKillCluster, Cluster: 9}}}},
+		{"link not neighbours", Script{Events: []Event{{Kind: KindLinkDown, LinkA: 0, LinkB: 3}}}},
+		{"link off grid", Script{Events: []Event{{Kind: KindLinkDown, LinkA: 0, LinkB: 7}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.s.Validate(testShape); !errors.Is(err, ErrBadScript) {
+			t.Errorf("%s: want ErrBadScript, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestEmptyScriptNilInjector(t *testing.T) {
+	for _, s := range []*Script{nil, {}, {Seed: 42}} {
+		inj, err := NewInjector(s, testShape)
+		if err != nil {
+			t.Fatalf("NewInjector(%+v): %v", s, err)
+		}
+		if inj != nil {
+			t.Fatalf("empty script %+v must yield a nil injector", s)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	s := &Script{Seed: 99, LinkFlipRate: 0.05, MemDropRate: 0.02, MemDelayRate: 0.02, SBDelayRate: 0.02}
+	run := func() ([]bool, Report) {
+		inj, err := NewInjector(s, testShape)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		var draws []bool
+		for c := uint64(0); c < 2000; c++ {
+			draws = append(draws, inj.LinkFlip(c, int(c%4), int(c%2)))
+			draws = append(draws, inj.MemDrop(c, 0))
+			draws = append(draws, inj.MemDelay(c, 1) > 0)
+			draws = append(draws, inj.SBDelay(int(c%4), c) > 0)
+		}
+		return draws, inj.Report()
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatal("identical scripts produced different decision streams")
+	}
+	if r1 != r2 {
+		t.Fatalf("reports differ: %v vs %v", r1, r2)
+	}
+	if r1.LinkFlips == 0 || r1.MemDrops == 0 {
+		t.Fatalf("rates ~2-5%% over 2000 draws should manifest at least once: %v", r1)
+	}
+}
+
+func TestInjectorSeedChangesStream(t *testing.T) {
+	stream := func(seed uint64) []bool {
+		inj, err := NewInjector(&Script{Seed: seed, LinkFlipRate: 0.5}, testShape)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		var out []bool
+		for c := uint64(0); c < 256; c++ {
+			out = append(out, inj.LinkFlip(c, 0, 0))
+		}
+		return out
+	}
+	if reflect.DeepEqual(stream(1), stream(2)) {
+		t.Fatal("different seeds produced identical decision streams")
+	}
+}
+
+func TestDueConsumesInCycleOrder(t *testing.T) {
+	s := &Script{Events: []Event{
+		{Cycle: 300, Kind: KindKillCluster, Cluster: 1},
+		{Cycle: 100, Kind: KindKillPE, Cluster: 0, Domain: 0, PE: 0},
+		{Cycle: 100, Kind: KindKillPE, Cluster: 0, Domain: 0, PE: 1},
+	}}
+	inj, err := NewInjector(s, testShape)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if got := inj.Due(99); len(got) != 0 {
+		t.Fatalf("Due(99) = %v, want none", got)
+	}
+	got := inj.Due(100)
+	if len(got) != 2 || got[0].PE != 0 || got[1].PE != 1 {
+		t.Fatalf("Due(100) = %v, want the two cycle-100 kills in script order", got)
+	}
+	if got := inj.Due(100); len(got) != 0 {
+		t.Fatalf("Due must not return an event twice, got %v", got)
+	}
+	if inj.PendingEvents() != 1 {
+		t.Fatalf("PendingEvents = %d, want 1", inj.PendingEvents())
+	}
+	if got := inj.Due(1000); len(got) != 1 || got[0].Kind != KindKillCluster {
+		t.Fatalf("Due(1000) = %v, want the cluster kill", got)
+	}
+}
+
+func TestDigestStableAndDiscriminating(t *testing.T) {
+	a := &Script{Seed: 1, LinkFlipRate: 0.1}
+	b := &Script{Seed: 1, LinkFlipRate: 0.1}
+	c := &Script{Seed: 2, LinkFlipRate: 0.1}
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal scripts must share a digest")
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("scripts differing in seed must not share a digest")
+	}
+	var nilScript *Script
+	if nilScript.Digest() != "" || (&Script{Seed: 5}).Digest() != "" {
+		t.Fatal("nil/empty scripts must digest to the empty string")
+	}
+	if len(a.Digest()) != 64 || strings.ToLower(a.Digest()) != a.Digest() {
+		t.Fatalf("digest should be lowercase sha256 hex, got %q", a.Digest())
+	}
+}
+
+func TestKillFractionScriptNested(t *testing.T) {
+	key := func(e Event) [3]int { return [3]int{e.Cluster, e.Domain, e.PE} }
+	var prev map[[3]int]bool
+	var prevN int
+	for _, frac := range []float64{0, 0.05, 0.10, 0.25, 1} {
+		s, err := KillFractionScript(testShape, frac, 7, 500)
+		if err != nil {
+			t.Fatalf("KillFractionScript(%v): %v", frac, err)
+		}
+		cur := map[[3]int]bool{}
+		for _, e := range s.Events {
+			if e.Kind != KindKillPE || e.Cycle != 500 {
+				t.Fatalf("unexpected event %+v", e)
+			}
+			cur[key(e)] = true
+		}
+		if len(cur) != len(s.Events) {
+			t.Fatalf("fraction %v: duplicate kill targets in %v", frac, s.Events)
+		}
+		if len(cur) < prevN {
+			t.Fatalf("fraction %v killed fewer PEs (%d) than the previous fraction (%d)", frac, len(cur), prevN)
+		}
+		for k := range prev {
+			if !cur[k] {
+				t.Fatalf("fraction %v kill set does not contain the previous set (missing %v)", frac, k)
+			}
+		}
+		prev, prevN = cur, len(cur)
+	}
+	if prevN != testShape.TotalPEs() {
+		t.Fatalf("fraction 1 killed %d of %d PEs", prevN, testShape.TotalPEs())
+	}
+	if _, err := KillFractionScript(testShape, 1.5, 0, 0); !errors.Is(err, ErrBadScript) {
+		t.Fatalf("want ErrBadScript for fraction 1.5, got %v", err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	inj, err := NewInjector(&Script{Seed: 1, MemDropRate: 0.5}, testShape)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if inj.LinkRetryCycles() != DefaultLinkRetryCycles ||
+		inj.MemRetryLimit() != DefaultMemRetryLimit ||
+		inj.RemapPenalty() != DefaultRemapPenalty {
+		t.Fatal("zero-valued knobs must fall back to package defaults")
+	}
+	inj2, err := NewInjector(&Script{Seed: 1, MemDropRate: 0.5, MemRetryLimit: 2, LinkRetryCycles: 3, RemapPenalty: 9}, testShape)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if inj2.LinkRetryCycles() != 3 || inj2.MemRetryLimit() != 2 || inj2.RemapPenalty() != 9 {
+		t.Fatal("explicit knobs must override defaults")
+	}
+}
+
+func TestScriptJSONOmitsZeroFields(t *testing.T) {
+	b, err := json.Marshal(&Script{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"seed":3}` {
+		t.Fatalf("zero fields must be omitted for canonical digests, got %s", b)
+	}
+}

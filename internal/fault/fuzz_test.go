@@ -1,0 +1,35 @@
+package fault
+
+import "testing"
+
+// FuzzParseScript checks that arbitrary input never panics the parser
+// and that everything it accepts survives validation-or-rejection,
+// re-marshalling, and digesting without a crash.
+func FuzzParseScript(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed": 1}`))
+	f.Add([]byte(`{"seed": 9, "events": [{"cycle": 10, "kind": "kill_pe"}]}`))
+	f.Add([]byte(`{"events": [{"kind": "link_down", "link_a": 0, "link_b": 1}]}`))
+	f.Add([]byte(`{"link_flip_rate": 0.5, "mem_drop_rate": 1e300}`))
+	f.Add([]byte(`{"seed": -1}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseScript(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("ParseScript returned both a script and an error")
+			}
+			return
+		}
+		// Whatever parses must validate or reject cleanly, and the
+		// accepted scripts must digest without panicking.
+		shape := Shape{Clusters: 4, Domains: 4, PEs: 8, GridW: 2, GridH: 2}
+		if s.Validate(shape) == nil {
+			_ = s.Digest()
+			if _, err := NewInjector(s, shape); err != nil {
+				t.Fatalf("validated script rejected by NewInjector: %v", err)
+			}
+		}
+	})
+}

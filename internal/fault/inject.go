@@ -1,0 +1,190 @@
+package fault
+
+import "fmt"
+
+// Mix hashes a tuple of values with splitmix64 finalization. It is the
+// single source of randomness in the fault subsystem: every stochastic
+// decision hashes (seed, site-tag, coordinates) so decisions are
+// order-independent and reproducible.
+func Mix(vals ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h = splitmix64(h)
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chance converts a hash into a [0,1) draw and compares against rate.
+func chance(h uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// Site tags keep decision streams for different fault classes
+// independent even when their coordinates collide.
+const (
+	siteLink = 0x4C494E4B // "LINK"
+	siteDrop = 0x44524F50 // "DROP"
+	siteDely = 0x44454C59 // "DELY"
+	siteSB   = 0x53425546 // "SBUF"
+)
+
+// Report summarizes every fault the injector (and the components it
+// drives) manifested during a run. All-zero for clean runs.
+type Report struct {
+	PEsKilled      int    `json:"pes_killed"`
+	LinksDown      int    `json:"links_down"`
+	LinkFlips      uint64 `json:"link_flips"`
+	MemDrops       uint64 `json:"mem_drops"`
+	MemRetries     uint64 `json:"mem_retries"`
+	MemDelays      uint64 `json:"mem_delays"`
+	SBDelays       uint64 `json:"sb_delays"`
+	InstsMigrated  int    `json:"insts_migrated"`  // bindings moved off dead PEs
+	TokensMigrated int    `json:"tokens_migrated"` // in-flight state rescued from dead PEs
+	Healed         uint64 `json:"healed"`          // in-flight messages re-aimed at a remapped PE
+}
+
+// String renders the report for error messages and logs.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"pes_killed=%d links_down=%d link_flips=%d mem_drops=%d mem_retries=%d mem_delays=%d sb_delays=%d insts_migrated=%d tokens_migrated=%d healed=%d",
+		r.PEsKilled, r.LinksDown, r.LinkFlips, r.MemDrops, r.MemRetries,
+		r.MemDelays, r.SBDelays, r.InstsMigrated, r.TokensMigrated, r.Healed)
+}
+
+// Injector makes per-cycle fault decisions for one simulation. Not safe
+// for concurrent use; each Processor owns one.
+type Injector struct {
+	script *Script
+	shape  Shape
+	events []Event // sorted by cycle, stable
+	next   int     // index of the first undelivered event
+	rep    Report
+}
+
+// NewInjector validates the script against the machine shape and builds
+// an injector. It returns (nil, nil) for a nil or empty script: the
+// caller keeps the faultless fast path by checking for a nil injector.
+func NewInjector(s *Script, shape Shape) (*Injector, error) {
+	if s.Empty() {
+		return nil, nil
+	}
+	if err := s.Validate(shape); err != nil {
+		return nil, err
+	}
+	return &Injector{script: s, shape: shape, events: sortEvents(s.Events)}, nil
+}
+
+// Script returns the validated script driving this injector.
+func (in *Injector) Script() *Script { return in.script }
+
+// Due returns the scheduled events that fire at or before cycle, in
+// order, consuming them. Subsequent calls never return an event twice.
+func (in *Injector) Due(cycle uint64) []Event {
+	start := in.next
+	for in.next < len(in.events) && in.events[in.next].Cycle <= cycle {
+		in.next++
+	}
+	return in.events[start:in.next]
+}
+
+// PendingEvents reports how many scheduled events have not fired yet.
+func (in *Injector) PendingEvents() int { return len(in.events) - in.next }
+
+// LinkFlip decides whether the traversal of the link leaving switch sw
+// through port suffers a transient fault this cycle.
+func (in *Injector) LinkFlip(cycle uint64, sw, port int) bool {
+	if !chance(Mix(in.script.Seed, siteLink, cycle, uint64(sw), uint64(port)), in.script.LinkFlipRate) {
+		return false
+	}
+	in.rep.LinkFlips++
+	return true
+}
+
+// LinkRetryCycles returns the retransmit penalty for a flipped link.
+func (in *Injector) LinkRetryCycles() uint64 {
+	if in.script.LinkRetryCycles > 0 {
+		return in.script.LinkRetryCycles
+	}
+	return DefaultLinkRetryCycles
+}
+
+// MemDrop decides whether the completion of memory request reqID is
+// lost. attempt distinguishes re-issues of the same request so a retry
+// gets a fresh draw.
+func (in *Injector) MemDrop(reqID uint64, attempt int) bool {
+	if !chance(Mix(in.script.Seed, siteDrop, reqID, uint64(attempt)), in.script.MemDropRate) {
+		return false
+	}
+	in.rep.MemDrops++
+	return true
+}
+
+// MemDelay returns the extra cycles (possibly zero) to hold the
+// completion of memory request reqID.
+func (in *Injector) MemDelay(reqID uint64, attempt int) uint64 {
+	if !chance(Mix(in.script.Seed, siteDely, reqID, uint64(attempt)), in.script.MemDelayRate) {
+		return 0
+	}
+	in.rep.MemDelays++
+	if in.script.MemDelayCycles > 0 {
+		return in.script.MemDelayCycles
+	}
+	return DefaultMemDelayCycles
+}
+
+// MemRetryLimit returns the maximum issue attempts per memory request.
+func (in *Injector) MemRetryLimit() int {
+	if in.script.MemRetryLimit > 0 {
+		return in.script.MemRetryLimit
+	}
+	return DefaultMemRetryLimit
+}
+
+// SBDelay returns the extra pipeline delay (possibly zero) for the
+// store-buffer operation identified by (cluster, seq).
+func (in *Injector) SBDelay(cluster int, seq uint64) uint64 {
+	if !chance(Mix(in.script.Seed, siteSB, uint64(cluster), seq), in.script.SBDelayRate) {
+		return 0
+	}
+	in.rep.SBDelays++
+	if in.script.SBDelayCycles > 0 {
+		return in.script.SBDelayCycles
+	}
+	return DefaultSBDelayCycles
+}
+
+// RemapPenalty returns the cycle cost applied to state migrated off a
+// killed PE.
+func (in *Injector) RemapPenalty() uint64 {
+	if in.script.RemapPenalty > 0 {
+		return in.script.RemapPenalty
+	}
+	return DefaultRemapPenalty
+}
+
+// CountKill records hard-fault bookkeeping for the report.
+func (in *Injector) CountKill(pes int) { in.rep.PEsKilled += pes }
+func (in *Injector) CountLinkDown()    { in.rep.LinksDown++ }
+func (in *Injector) CountMigration(insts, toks int) {
+	in.rep.InstsMigrated += insts
+	in.rep.TokensMigrated += toks
+}
+func (in *Injector) CountHealed()   { in.rep.Healed++ }
+func (in *Injector) CountMemRetry() { in.rep.MemRetries++ }
+
+// Report returns the accumulated fault counts.
+func (in *Injector) Report() Report { return in.rep }

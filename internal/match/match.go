@@ -16,6 +16,7 @@ package match
 
 import (
 	"fmt"
+	"sort"
 
 	"wavescalar/internal/isa"
 )
@@ -327,3 +328,64 @@ func (t *Table) allocate(si int) *Entry {
 // OverflowSize returns how many partial matches live in the in-memory
 // table (diagnostic).
 func (t *Table) OverflowSize() int { return len(t.overflow) }
+
+// DrainEntries removes and returns every partial match the table holds —
+// physical entries in set order, then in-memory overflow entries in
+// deterministic (instruction, tag) order. Used when a PE is mapped out:
+// the survivors adopt its partial matches. The release callback is not
+// invoked (the table's owner is being dismantled, not making progress).
+func (t *Table) DrainEntries() []Entry {
+	var out []Entry
+	for si := range t.sets {
+		for w := range t.sets[si] {
+			e := &t.sets[si][w]
+			if e.valid {
+				ec := *e
+				ec.valid = false
+				out = append(out, ec)
+				e.valid = false
+				t.live--
+			}
+		}
+	}
+	if len(t.overflow) > 0 {
+		keys := make([]key, 0, len(t.overflow))
+		for k := range t.overflow {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.inst != b.inst {
+				return a.inst < b.inst
+			}
+			if a.tag.Thread != b.tag.Thread {
+				return a.tag.Thread < b.tag.Thread
+			}
+			return a.tag.Wave < b.tag.Wave
+		})
+		for _, k := range keys {
+			out = append(out, *t.overflow[k])
+		}
+		t.overflow = make(map[key]*Entry)
+	}
+	return out
+}
+
+// Adopt installs a partial match drained from another PE's table,
+// preserving its accumulated operands and store-decoupling state
+// (AddrSent survives the migration, so a decoupled store does not
+// re-send its address half). localIdx is the instruction's index in the
+// adopting PE's store; readyAt defers schedulability by the migration
+// penalty. Adoption bypasses bank limits — it models a repair action,
+// not an arrival.
+func (t *Table) Adopt(e Entry, localIdx int, readyAt uint64) {
+	si := t.set(localIdx, e.Tag)
+	slot := t.allocate(si)
+	*slot = e
+	slot.LocalIdx = localIdx
+	slot.valid = true
+	if slot.ReadyAt < readyAt {
+		slot.ReadyAt = readyAt
+	}
+	t.live++
+}

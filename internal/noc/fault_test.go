@@ -1,0 +1,319 @@
+package noc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// drain ticks the grid until no messages are buffered (excluding parked
+// ones, which never drain) or maxCycles elapse, returning the last cycle.
+func drain(g *Grid, from uint64, maxCycles int) uint64 {
+	cy := from
+	for i := 0; i < maxCycles; i++ {
+		cy++
+		g.Tick(cy)
+		if g.Pending()-len(g.parked) == 0 {
+			break
+		}
+	}
+	return cy
+}
+
+// TestRerouteSingleDeadLinkProperty is the reroute correctness property
+// test: for every grid up to 8x8 and every single dead link, a batch of
+// random messages is fully delivered — no loss, no duplication, each
+// message exactly once (token conservation) — and no route ever steps
+// off the grid.
+func TestRerouteSingleDeadLinkProperty(t *testing.T) {
+	dims := [][2]int{{2, 2}, {4, 2}, {4, 4}, {8, 4}, {8, 8}}
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range dims {
+		w, h := d[0], d[1]
+		// Enumerate every link: east and south edges of each switch.
+		var links [][2]int
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				si := y*w + x
+				if x+1 < w {
+					links = append(links, [2]int{si, si + 1})
+				}
+				if y+1 < h {
+					links = append(links, [2]int{si, si + w})
+				}
+			}
+		}
+		for _, link := range links {
+			g, c := grid(w, h)
+			if err := g.LinkDown(link[0], link[1]); err != nil {
+				t.Fatalf("%dx%d LinkDown(%v): %v", w, h, link, err)
+			}
+			const n = 64
+			sent := map[int]int{} // message id -> expected dst
+			for i := 0; i < n; i++ {
+				src, dst := rng.Intn(w*h), rng.Intn(w*h)
+				m := &Message{Src: src, Dst: dst, VC: i % numVCs, Payload: i}
+				// Retry injection until the source queue accepts it.
+				for cy := uint64(0); !g.Send(cy, m); cy++ {
+					g.Tick(cy + 1)
+				}
+				sent[i] = dst
+			}
+			drain(g, 0, 10_000)
+			if got := len(c.got); got != n {
+				t.Fatalf("%dx%d dead link %v: delivered %d of %d (parked %d)",
+					w, h, link, got, n, len(g.parked))
+			}
+			seen := map[int]bool{}
+			for _, d := range c.got {
+				id := d.m.Payload.(int)
+				if seen[id] {
+					t.Fatalf("%dx%d dead link %v: message %d delivered twice", w, h, link, id)
+				}
+				seen[id] = true
+				if d.m.Dst != sent[id] {
+					t.Fatalf("%dx%d dead link %v: message %d delivered to %d, want %d",
+						w, h, link, id, d.m.Dst, sent[id])
+				}
+			}
+			if err := g.Err(); err != nil {
+				t.Fatalf("%dx%d dead link %v: grid latched %v", w, h, link, err)
+			}
+			if g.Stats().Injected != uint64(n) || g.Stats().Delivered != uint64(n) {
+				t.Fatalf("%dx%d dead link %v: stats %+v", w, h, link, g.Stats())
+			}
+		}
+	}
+}
+
+// TestLinkDownAvoidsDeadLink checks messages actually detour: with the
+// direct link dead, the path between its endpoints takes extra hops.
+func TestLinkDownAvoidsDeadLink(t *testing.T) {
+	g, c := grid(4, 4)
+	if err := g.LinkDown(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := &Message{Src: 0, Dst: 1, VC: VCOperand}
+	if !g.Send(0, m) {
+		t.Fatal("send failed")
+	}
+	drain(g, 0, 100)
+	if len(c.got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(c.got))
+	}
+	if c.got[0].m.Hops <= 1 {
+		t.Fatalf("hops = %d; a detour around the dead 0-1 link needs at least 3", c.got[0].m.Hops)
+	}
+}
+
+// TestLinkDownRestagesQueuedMessages checks messages already queued on a
+// link that then dies are rerouted, not lost.
+func TestLinkDownRestagesQueuedMessages(t *testing.T) {
+	g, c := grid(4, 1)
+	for i := 0; i < 4; i++ {
+		if !g.Send(0, &Message{Src: 0, Dst: 3, VC: VCOperand, Payload: i}) {
+			t.Fatal("send failed")
+		}
+	}
+	g.Tick(1) // messages advance toward switch 1
+	if err := g.LinkDown(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// 4x1 with the 1-2 link dead is partitioned: everything parks.
+	drain(g, 1, 1000)
+	if len(c.got) != 0 || len(g.parked) != 4 {
+		t.Fatalf("partitioned row: delivered %d, parked %d; want 0/4", len(c.got), len(g.parked))
+	}
+	if g.Pending() != 4 {
+		t.Fatalf("parked messages must stay pending, got %d", g.Pending())
+	}
+	if g.Stats().Unroutable == 0 {
+		t.Fatal("partition must count unroutable messages")
+	}
+}
+
+// TestPartitionedSendRefused checks sends into a partition are refused
+// and counted, never silently dropped and never panicking.
+func TestPartitionedSendRefused(t *testing.T) {
+	g, _ := grid(2, 1)
+	if err := g.LinkDown(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Send(0, &Message{Src: 0, Dst: 1, VC: VCOperand}) {
+		t.Fatal("send across a partition must be refused")
+	}
+	if g.Stats().Unroutable != 1 {
+		t.Fatalf("Unroutable = %d, want 1", g.Stats().Unroutable)
+	}
+	if err := g.Err(); err != nil {
+		t.Fatalf("partition is a fault, not an anomaly: %v", err)
+	}
+	// Local delivery still works on both sides of the partition.
+	c2 := &capture{}
+	g2 := New(2, 1, Config{PortBW: 2, QueueCap: 8}, c2.sink)
+	if err := g2.LinkDown(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Send(0, &Message{Src: 1, Dst: 1, VC: VCOperand}) {
+		t.Fatal("intra-switch send must survive the partition")
+	}
+	g2.Tick(1)
+	if len(c2.got) != 1 {
+		t.Fatal("local delivery lost after partition")
+	}
+}
+
+func TestLinkDownValidation(t *testing.T) {
+	g, _ := grid(4, 4)
+	if err := g.LinkDown(0, 5); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("diagonal link: want ErrBadLink, got %v", err)
+	}
+	if err := g.LinkDown(0, 99); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("off-grid link: want ErrBadLink, got %v", err)
+	}
+	if err := g.LinkDown(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LinkDown(1, 0); err != nil {
+		t.Fatalf("re-killing a dead link must be a no-op, got %v", err)
+	}
+	if g.Stats().LinksDown != 1 {
+		t.Fatalf("LinksDown = %d, want 1", g.Stats().LinksDown)
+	}
+}
+
+// TestBadMessageLatchesError checks the old panic paths now latch
+// structured errors and refuse the message.
+func TestBadMessageLatchesError(t *testing.T) {
+	g, _ := grid(2, 2)
+	if g.Send(0, &Message{Src: 0, Dst: 1, VC: 7}) {
+		t.Fatal("bad-VC send must be refused")
+	}
+	if err := g.Err(); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("want ErrBadMessage, got %v", err)
+	}
+	g2, _ := grid(2, 2)
+	if g2.Send(0, &Message{Src: 0, Dst: 9, VC: VCOperand}) {
+		t.Fatal("off-grid destination must be refused")
+	}
+	if err := g2.Err(); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("want ErrBadMessage, got %v", err)
+	}
+}
+
+// TestTransientFlipRetransmits checks a flipped hop delays the message
+// by the retransmit penalty but still delivers it exactly once.
+func TestTransientFlipRetransmits(t *testing.T) {
+	flips := 0
+	g, c := grid(2, 1)
+	g.SetFaults(func(cycle uint64, sw, port int) bool {
+		if flips == 0 && sw == 0 && port == int(PortE) {
+			flips++
+			return true
+		}
+		return false
+	}, 10)
+	if !g.Send(0, &Message{Src: 0, Dst: 1, VC: VCOperand}) {
+		t.Fatal("send failed")
+	}
+	last := drain(g, 0, 100)
+	if len(c.got) != 1 {
+		t.Fatalf("delivered %d, want exactly 1", len(c.got))
+	}
+	if g.Stats().Retransmits != 1 {
+		t.Fatalf("Retransmits = %d, want 1", g.Stats().Retransmits)
+	}
+	// Clean delivery takes 2 cycles; the flip adds the 10-cycle hold.
+	if last < 11 {
+		t.Fatalf("delivery at cycle %d; retransmit penalty not applied", last)
+	}
+}
+
+// TestFlipStormStillDelivers floods a lossy fabric and checks
+// conservation under sustained transient faults.
+func TestFlipStormStillDelivers(t *testing.T) {
+	g, c := grid(4, 4)
+	// Deterministic ~25% flip rate from a little hash (high bits, so the
+	// draw changes across retries of the same hop).
+	g.SetFaults(func(cycle uint64, sw, port int) bool {
+		h := (cycle + uint64(sw)*131 + uint64(port)*17) * 0x9E3779B97F4A7C15
+		return (h>>32)%4 == 0
+	}, 4)
+	const n = 128
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		m := &Message{Src: rng.Intn(16), Dst: rng.Intn(16), VC: i % numVCs, Payload: i}
+		for cy := uint64(0); !g.Send(cy, m); cy++ {
+			g.Tick(cy + 1)
+		}
+	}
+	drain(g, 0, 50_000)
+	if len(c.got) != n {
+		t.Fatalf("delivered %d of %d under transient faults", len(c.got), n)
+	}
+	if g.Stats().Retransmits == 0 {
+		t.Fatal("a 25% flip rate must cause retransmits")
+	}
+	seen := map[int]bool{}
+	for _, d := range c.got {
+		id := d.m.Payload.(int)
+		if seen[id] {
+			t.Fatalf("message %d duplicated", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestHealthyFabricUnchanged guards the clean fast path: with no faults
+// installed the new code paths must not perturb behaviour or stats.
+func TestHealthyFabricUnchanged(t *testing.T) {
+	run := func() (Stats, int) {
+		g, c := grid(4, 4)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 64; i++ {
+			m := &Message{Src: rng.Intn(16), Dst: rng.Intn(16), VC: i % numVCs, Payload: i}
+			for cy := uint64(0); !g.Send(cy, m); cy++ {
+				g.Tick(cy + 1)
+			}
+		}
+		drain(g, 0, 10_000)
+		return g.Stats(), len(c.got)
+	}
+	s1, n1 := run()
+	s2, n2 := run()
+	if s1 != s2 || n1 != n2 {
+		t.Fatalf("healthy runs diverged: %+v/%d vs %+v/%d", s1, n1, s2, n2)
+	}
+	if s1.Retransmits != 0 || s1.Rerouted != 0 || s1.Unroutable != 0 || s1.LinksDown != 0 {
+		t.Fatalf("fault counters must stay zero on a healthy fabric: %+v", s1)
+	}
+}
+
+// TestRouteTableCompleteness checks the BFS tables cover every pair on
+// every single-dead-link grid (no spurious portNone on connected grids).
+func TestRouteTableCompleteness(t *testing.T) {
+	for _, d := range [][2]int{{2, 2}, {4, 4}, {8, 8}} {
+		w, h := d[0], d[1]
+		g, _ := grid(w, h)
+		if err := g.LinkDown(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		for si := 0; si < w*h; si++ {
+			for dst := 0; dst < w*h; dst++ {
+				if si == dst {
+					continue
+				}
+				if g.routeTab[si][dst] == portNone {
+					t.Fatalf("%dx%d: no route %d->%d after a single dead link", w, h, si, dst)
+				}
+			}
+		}
+	}
+}
+
+func ExampleGrid_LinkDown() {
+	g := New(2, 2, Config{PortBW: 2, QueueCap: 8}, func(uint64, OutPort, *Message) {})
+	fmt.Println(g.LinkDown(0, 1), g.Stats().LinksDown)
+	// Output: <nil> 1
+}

@@ -11,9 +11,26 @@
 package noc
 
 import (
+	"errors"
 	"fmt"
 
 	"wavescalar/internal/trace"
+)
+
+// Structured anomaly errors. Impossible states (a message with a bad
+// virtual channel, a route stepping off the grid) used to panic; they
+// now latch an error on the Grid that the simulator surfaces through
+// RunContext, so a fabric anomaly degrades the run instead of killing
+// the process.
+var (
+	// ErrBadMessage marks a message that cannot legally enter the
+	// network (bad VC or out-of-range endpoint).
+	ErrBadMessage = errors.New("noc: bad message")
+	// ErrOffGrid marks a routing step that left the grid — an internal
+	// invariant violation, latched instead of panicking.
+	ErrOffGrid = errors.New("noc: route off grid")
+	// ErrBadLink marks a LinkDown call naming non-adjacent switches.
+	ErrBadLink = errors.New("noc: bad link")
 )
 
 // VC identifiers: operands ride VC 0, memory and coherence traffic VC 1.
@@ -49,7 +66,14 @@ type Message struct {
 	Payload  any
 	Injected uint64
 	Hops     int
+	// RetryAt holds the message at its current switch until the given
+	// cycle after a transient link fault (retransmit penalty).
+	RetryAt uint64
 }
+
+// FlipFunc decides whether the link leaving switch sw through port
+// suffers a transient fault this cycle (fault injection hook).
+type FlipFunc func(cycle uint64, sw, port int) bool
 
 // Sink receives delivered messages.
 type Sink func(cycle uint64, port OutPort, m *Message)
@@ -76,15 +100,25 @@ type Stats struct {
 	TotalLat   uint64 // sum of delivery latencies in cycles
 	InjectFull uint64 // failed injection attempts (source queue full)
 	Blocked    uint64 // hop attempts blocked by a full downstream queue
+	// Fault-path counters; zero on a healthy fabric.
+	Retransmits uint64 // transient link faults (message held, re-sent)
+	Rerouted    uint64 // messages moved off a failed link's queue
+	Unroutable  uint64 // send attempts with no path to the destination
+	LinksDown   int    // permanently failed links
 }
 
 type queue struct {
 	msgs []*Message
 }
 
+// portNone marks "no route" in the reroute tables.
+const portNone OutPort = -1
+
 type sw struct {
 	x, y int
 	out  [numPorts][numVCs]queue
+	// dead[p] marks the outgoing link through cardinal port p failed.
+	dead [4]bool
 }
 
 // Grid is the whole inter-cluster network.
@@ -96,6 +130,23 @@ type Grid struct {
 	stats Stats
 	// staging for the two-phase tick
 	arrivals []arrival
+
+	// err latches the first internal anomaly (bad message, off-grid
+	// route); the owner polls Err() and aborts the run.
+	err error
+	// routeTab[si][dst] is the next-hop port from switch si toward
+	// destination switch dst, BFS-computed around dead links. nil while
+	// the fabric is healthy so the fault-free path stays pure
+	// dimension-order routing, bit-identical to the pre-fault code.
+	routeTab [][]OutPort
+	// flip, when non-nil, injects transient link faults; retryCycles is
+	// the retransmit penalty applied to a flipped message.
+	flip        FlipFunc
+	retryCycles uint64
+	// parked holds messages whose destination became unreachable after
+	// link failures; they stay pending so tokens are never silently
+	// lost (the watchdog turns the stall into a structured error).
+	parked []*Message
 }
 
 type arrival struct {
@@ -156,33 +207,66 @@ func abs(v int) int {
 	return v
 }
 
-// route picks the output port at switch s for a message to dst.
+// route picks the output port at switch s for a message to dst:
+// dimension-order on a healthy fabric, table lookup once any link has
+// failed. Returns portNone when the destination is unreachable.
 func (g *Grid) route(s *sw, m *Message) OutPort {
-	dx, dy := g.Coord(m.Dst)
-	switch {
-	case dx > s.x:
-		return PortE
-	case dx < s.x:
-		return PortW
-	case dy > s.y:
-		return PortS
-	case dy < s.y:
-		return PortN
-	case m.ToMem:
+	if g.routeTab != nil {
+		si := s.y*g.w + s.x
+		if si != m.Dst {
+			return g.routeTab[si][m.Dst]
+		}
+	} else {
+		dx, dy := g.Coord(m.Dst)
+		switch {
+		case dx > s.x:
+			return PortE
+		case dx < s.x:
+			return PortW
+		case dy > s.y:
+			return PortS
+		case dy < s.y:
+			return PortN
+		}
+	}
+	if m.ToMem {
 		return PortMem
-	default:
-		return PortPE
+	}
+	return PortPE
+}
+
+// fail latches the first internal anomaly for Err.
+func (g *Grid) fail(err error) {
+	if g.err == nil {
+		g.err = err
 	}
 }
 
+// Err returns the first internal anomaly the network has latched, if
+// any. The simulator polls it each cycle and aborts the run with a
+// structured error instead of the old panic.
+func (g *Grid) Err() error { return g.err }
+
 // Send injects a message at its source cluster's switch. It returns false
-// if the first-hop queue is full; the caller retries later.
+// if the first-hop queue is full; the caller retries later. A malformed
+// message (bad VC or endpoint) is refused and latches ErrBadMessage; an
+// unreachable destination (fabric partitioned by link failures) is
+// refused and counted in Stats.Unroutable.
 func (g *Grid) Send(cycle uint64, m *Message) bool {
 	if m.VC < 0 || m.VC >= numVCs {
-		panic(fmt.Sprintf("noc: bad VC %d", m.VC))
+		g.fail(fmt.Errorf("%w: VC %d for %d->%d", ErrBadMessage, m.VC, m.Src, m.Dst))
+		return false
+	}
+	if m.Src < 0 || m.Src >= len(g.sws) || m.Dst < 0 || m.Dst >= len(g.sws) {
+		g.fail(fmt.Errorf("%w: endpoint %d->%d outside %dx%d grid", ErrBadMessage, m.Src, m.Dst, g.w, g.h))
+		return false
 	}
 	s := g.sws[m.Src]
 	port := g.route(s, m)
+	if port == portNone {
+		g.stats.Unroutable++
+		return false
+	}
 	q := &s.out[port][m.VC]
 	if len(q.msgs) >= g.cfg.QueueCap {
 		g.stats.InjectFull++
@@ -192,6 +276,121 @@ func (g *Grid) Send(cycle uint64, m *Message) bool {
 	q.msgs = append(q.msgs, m)
 	g.stats.Injected++
 	return true
+}
+
+// SetFaults installs the transient-fault hook: flip decides whether a
+// hop suffers a transient fault, retryCycles is the retransmit penalty.
+func (g *Grid) SetFaults(flip FlipFunc, retryCycles uint64) {
+	g.flip = flip
+	g.retryCycles = retryCycles
+}
+
+// LinkDown permanently fails the link between adjacent switches a and b
+// (both directions, modeling a physical link failure) and recomputes
+// the routing tables around it. Messages queued on the dead link are
+// re-staged onto their new route and counted in Stats.Rerouted.
+func (g *Grid) LinkDown(a, b int) error {
+	if a < 0 || a >= len(g.sws) || b < 0 || b >= len(g.sws) {
+		return fmt.Errorf("%w: %d-%d outside %dx%d grid", ErrBadLink, a, b, g.w, g.h)
+	}
+	pab, ok := portToward(g.sws[a], g.sws[b])
+	if !ok {
+		return fmt.Errorf("%w: switches %d and %d are not neighbours", ErrBadLink, a, b)
+	}
+	pba, _ := portToward(g.sws[b], g.sws[a])
+	if g.sws[a].dead[pab] {
+		return nil // already down
+	}
+	g.sws[a].dead[pab] = true
+	g.sws[b].dead[pba] = true
+	g.stats.LinksDown++
+	g.recomputeRoutes()
+	g.restage(a, pab)
+	g.restage(b, pba)
+	return nil
+}
+
+// portToward returns the cardinal port from s to its neighbour n.
+func portToward(s, n *sw) (OutPort, bool) {
+	switch {
+	case n.x == s.x && n.y == s.y-1:
+		return PortN, true
+	case n.x == s.x+1 && n.y == s.y:
+		return PortE, true
+	case n.x == s.x && n.y == s.y+1:
+		return PortS, true
+	case n.x == s.x-1 && n.y == s.y:
+		return PortW, true
+	}
+	return portNone, false
+}
+
+// recomputeRoutes rebuilds the next-hop table with one BFS per
+// destination over the surviving links. Neighbour order is fixed
+// (N, E, S, W) so the tables — and therefore every subsequent routing
+// decision — are deterministic.
+func (g *Grid) recomputeRoutes() {
+	n := len(g.sws)
+	g.routeTab = make([][]OutPort, n)
+	for si := range g.routeTab {
+		g.routeTab[si] = make([]OutPort, n)
+		for d := range g.routeTab[si] {
+			g.routeTab[si][d] = portNone
+		}
+	}
+	queue := make([]int, 0, n)
+	for dst := 0; dst < n; dst++ {
+		// BFS outward from dst; when we reach switch v through v's port
+		// p (v -> prev hop toward dst), record p as v's next hop.
+		visited := make([]bool, n)
+		visited[dst] = true
+		queue = append(queue[:0], dst)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for p := PortN; p <= PortW; p++ {
+				v, ok := g.step(cur, p)
+				if !ok || visited[v] {
+					continue
+				}
+				back, _ := portToward(g.sws[v], g.sws[cur])
+				if g.sws[v].dead[back] {
+					continue
+				}
+				visited[v] = true
+				g.routeTab[v][dst] = back
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// restage moves every message queued on a now-dead port back through
+// routing, preserving queue order. Re-staged messages may transiently
+// overflow their new queue's cap; the overflow drains normally.
+func (g *Grid) restage(si int, deadPort OutPort) {
+	s := g.sws[si]
+	for vc := 0; vc < numVCs; vc++ {
+		msgs := s.out[deadPort][vc].msgs
+		if len(msgs) == 0 {
+			continue
+		}
+		s.out[deadPort][vc].msgs = nil
+		for _, m := range msgs {
+			port := g.route(s, m)
+			if port == portNone {
+				// Destination unreachable (fabric partitioned): park
+				// the message. Parked messages count as pending so the
+				// machine never quiesces with lost tokens — the
+				// simulator's watchdog reports a fault stall instead.
+				g.parked = append(g.parked, m)
+				g.stats.Unroutable++
+				continue
+			}
+			s.out[port][vc].msgs = append(s.out[port][vc].msgs, m)
+			g.stats.Rerouted++
+		}
+	}
 }
 
 // Tick advances the network one cycle: each output port forwards up to
@@ -217,6 +416,9 @@ func (g *Grid) Tick(cycle uint64) {
 				q := &s.out[port][vc]
 				for budget > 0 && len(q.msgs) > 0 {
 					m := q.msgs[0]
+					if m.RetryAt > cycle {
+						break // retransmit hold after a transient fault
+					}
 					if port == PortPE || port == PortMem {
 						// Arrived: deliver to the cluster.
 						g.deliver(cycle, port, m)
@@ -224,10 +426,30 @@ func (g *Grid) Tick(cycle uint64) {
 						budget--
 						continue
 					}
+					if g.flip != nil && g.flip(cycle, si, int(port)) {
+						// Transient link fault: the message is corrupted
+						// in flight and re-sent after the penalty.
+						m.RetryAt = cycle + g.retryCycles
+						g.stats.Retransmits++
+						break
+					}
 					// Forward one hop.
-					ni := g.neighbor(si, port)
+					ni, ok := g.step(si, port)
+					if !ok {
+						g.fail(fmt.Errorf("%w: from switch %d via port %d", ErrOffGrid, si, port))
+						q.msgs = q.msgs[1:]
+						continue
+					}
 					ns := g.sws[ni]
 					nport := g.route(ns, m)
+					if nport == portNone {
+						// A link died after this message passed routing:
+						// park it rather than lose it.
+						g.parked = append(g.parked, m)
+						g.stats.Unroutable++
+						q.msgs = q.msgs[1:]
+						continue
+					}
 					ref := qref{sw: ni, port: nport, vc: vc}
 					if len(ns.out[nport][vc].msgs)+staged[ref] >= g.cfg.QueueCap {
 						g.stats.Blocked++
@@ -258,8 +480,10 @@ func (g *Grid) deliver(cycle uint64, port OutPort, m *Message) {
 	g.sink(cycle, port, m)
 }
 
-// neighbor returns the switch index in the given direction.
-func (g *Grid) neighbor(si int, port OutPort) int {
+// step returns the switch index in the given direction, or ok=false
+// when the step would leave the grid (an invariant violation on a
+// correctly routed message; callers latch ErrOffGrid).
+func (g *Grid) step(si int, port OutPort) (int, bool) {
 	x, y := g.sws[si].x, g.sws[si].y
 	switch port {
 	case PortN:
@@ -272,15 +496,16 @@ func (g *Grid) neighbor(si int, port OutPort) int {
 		x--
 	}
 	if x < 0 || x >= g.w || y < 0 || y >= g.h {
-		panic(fmt.Sprintf("noc: route off grid from switch %d via %d", si, port))
+		return 0, false
 	}
-	return y*g.w + x
+	return y*g.w + x, true
 }
 
 // Pending returns the number of messages currently buffered in the network
-// (diagnostic; nonzero means traffic is still in flight).
+// (diagnostic; nonzero means traffic is still in flight). Messages parked
+// by fabric partition count: they are in flight and will never arrive.
 func (g *Grid) Pending() int {
-	n := 0
+	n := len(g.parked)
 	for _, s := range g.sws {
 		for p := OutPort(0); p < numPorts; p++ {
 			for vc := 0; vc < numVCs; vc++ {

@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"wavescalar/internal/area"
 	"wavescalar/internal/cli"
 	"wavescalar/internal/design"
 	"wavescalar/internal/explore"
+	"wavescalar/internal/fault"
 	"wavescalar/internal/sim"
 	"wavescalar/internal/version"
 	"wavescalar/internal/workload"
@@ -36,23 +39,48 @@ func (s *Server) routes() *http.ServeMux {
 	return mux
 }
 
-// statusWriter captures the response code for metrics.
+// statusWriter captures the response code for metrics and whether any
+// bytes have been written — the panic middleware can only substitute a
+// 500 while the response is still untouched.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with request metrics and panic recovery. A
+// panicking handler must not take the daemon down with it: the panic is
+// logged with a request id and a stack trace, counted in
+// wsd_panics_total, and — if the handler had not started the response —
+// answered with a 500 carrying the same request id so operators can
+// correlate the client-visible error with the server log.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				id := s.reqSeq.Add(1)
+				s.metrics.add(&s.metrics.panics, 1)
+				log.Printf("server: panic serving %s (request %d): %v\n%s", pattern, id, rec, debug.Stack())
+				if !sw.wrote {
+					writeErr(sw, http.StatusInternalServerError, "internal error (request %d)", id)
+				}
+			}
+			s.metrics.observeRequest(pattern, r.Method, sw.code, time.Since(start).Seconds())
+		}()
 		h(sw, r)
-		s.metrics.observeRequest(pattern, r.Method, sw.code, time.Since(start).Seconds())
 	})
 }
 
@@ -111,11 +139,12 @@ func (a *archSpec) resolve() (sim.Config, error) {
 
 // runRequest is the body of POST /v1/runs.
 type runRequest struct {
-	Workload string    `json:"workload"`
-	Scale    string    `json:"scale,omitempty"`     // default "tiny"
-	Threads  int       `json:"threads,omitempty"`   // default 1
-	Config   *archSpec `json:"config,omitempty"`    // default Table 1 baseline
-	TimeoutS float64   `json:"timeout_s,omitempty"` // wait bound; default server-wide
+	Workload string        `json:"workload"`
+	Scale    string        `json:"scale,omitempty"`     // default "tiny"
+	Threads  int           `json:"threads,omitempty"`   // default 1
+	Config   *archSpec     `json:"config,omitempty"`    // default Table 1 baseline
+	Fault    *fault.Script `json:"fault,omitempty"`     // optional fault-injection script
+	TimeoutS float64       `json:"timeout_s,omitempty"` // wait bound; default server-wide
 }
 
 // runResult is the deterministic payload of one measurement — derived
@@ -184,6 +213,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad config: %v", err)
 		return
+	}
+	if !req.Fault.Empty() {
+		if err := req.Fault.Validate(sim.FaultShape(cfg)); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad fault script: %v", err)
+			return
+		}
+		cfg.Fault = req.Fault
 	}
 	areaMM2 := area.Total(cfg.Arch)
 	key := explore.CellKey(cfg, wl.Name, sc, []int{req.Threads})

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPanicRecovery proves a panicking handler is converted into a 500
+// carrying a request id, logged with a stack trace, counted in
+// wsd_panics_total — and that the daemon keeps serving afterwards.
+func TestPanicRecovery(t *testing.T) {
+	srv, ts := newTestServer(t)
+	var logBuf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(prev)
+
+	h := srv.instrument("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "internal error (request") {
+		t.Errorf("500 body missing request id: %q", body)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "panic serving GET /boom") || !strings.Contains(logged, "goroutine") {
+		t.Errorf("panic log missing route or stack trace: %q", logged)
+	}
+
+	// A handler that panics after starting the response must not have a
+	// 500 spliced into its half-written body.
+	h = srv.instrument("GET /boom2", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "partial")
+		panic("late boom")
+	})
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom2", nil))
+	if body := rec.Body.String(); strings.Contains(body, "internal error") {
+		t.Errorf("error payload appended to half-written response: %q", body)
+	}
+
+	// The daemon survived both panics.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after panic: status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := readAll(t, mresp)
+	if !strings.Contains(text, "wsd_panics_total 2") {
+		t.Errorf("metrics missing panic count:\n%s", grepMetric(text, "wsd_panics_total"))
+	}
+	if !strings.Contains(text, `wsd_http_requests_total{path="GET /boom",method="GET",code="500"} 1`) {
+		t.Errorf("panicked request not observed as 500:\n%s", grepMetric(text, "GET /boom"))
+	}
+}
+
+func TestRunFaultValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"rate out of range", `{"workload":"fft","fault":{"mem_drop_rate":1.5}}`},
+		{"target outside machine", `{"workload":"fft","fault":{"events":[{"cycle":1,"kind":"kill_pe","pe":99}]}}`},
+		{"unknown event kind", `{"workload":"fft","fault":{"events":[{"cycle":1,"kind":"explode"}]}}`},
+		{"unknown fault field", `{"workload":"fft","fault":{"typo_rate":0.5}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := post(t, ts.URL+"/v1/runs", tc.body)
+			body := decode[map[string]string](t, resp)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d, want 400 (%v)", resp.StatusCode, body)
+			}
+			if body["error"] == "" {
+				t.Error("error payload missing")
+			}
+		})
+	}
+}
+
+// TestRunWithFaultScript drives a fault-injected run end to end: the
+// script changes the cell key (so faulty results never collide with
+// clean ones), the simulation degrades gracefully instead of failing,
+// repeats are cache hits, and the work is counted in
+// wsd_fault_sims_total.
+func TestRunWithFaultScript(t *testing.T) {
+	_, ts := newTestServer(t)
+	clean := decode[runResponse](t, post(t, ts.URL+"/v1/runs", `{"workload":"fft"}`))
+
+	faultBody := `{"workload":"fft","fault":{"events":[{"cycle":100,"kind":"kill_pe","cluster":0,"domain":1,"pe":3}]}}`
+	resp := post(t, ts.URL+"/v1/runs", faultBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault run: status %d", resp.StatusCode)
+	}
+	faulty := decode[runResponse](t, resp)
+	if faulty.Cached {
+		t.Error("first fault run reported cached")
+	}
+	if faulty.Key == clean.Key {
+		t.Error("fault script did not change the cell key")
+	}
+	if faulty.Result.Err != "" || faulty.Result.AIPC <= 0 {
+		t.Errorf("fault run did not complete gracefully: %+v", faulty.Result)
+	}
+
+	again := decode[runResponse](t, post(t, ts.URL+"/v1/runs", faultBody))
+	if !again.Cached {
+		t.Error("repeated fault run not served from cache")
+	}
+	if again.Result != faulty.Result {
+		t.Errorf("cached fault result differs:\nfirst  %+v\nsecond %+v", faulty.Result, again.Result)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := readAll(t, mresp)
+	if !strings.Contains(text, "wsd_fault_sims_total 1") {
+		t.Errorf("metrics missing fault sim count:\n%s", grepMetric(text, "wsd_fault_sims_total"))
+	}
+}

@@ -24,6 +24,8 @@ type metrics struct {
 	jobsCompleted, jobsFailed, jobsCancelled uint64
 	dedupShared, rejectedFull                uint64
 	journalErrors                            uint64
+	panics                                   uint64
+	faultSims                                uint64
 }
 
 func newMetrics() *metrics {
@@ -149,6 +151,14 @@ func (m *metrics) write(w io.Writer, gauges []gauge) {
 	fmt.Fprint(w, "# HELP wsd_journal_errors_total Journal appends that failed (results still served from memory).\n")
 	fmt.Fprint(w, "# TYPE wsd_journal_errors_total counter\n")
 	fmt.Fprintf(w, "wsd_journal_errors_total %d\n", m.journalErrors)
+
+	fmt.Fprint(w, "# HELP wsd_panics_total Handler panics recovered by the middleware (each served a 500).\n")
+	fmt.Fprint(w, "# TYPE wsd_panics_total counter\n")
+	fmt.Fprintf(w, "wsd_panics_total %d\n", m.panics)
+
+	fmt.Fprint(w, "# HELP wsd_fault_sims_total Simulations executed with a fault-injection script attached.\n")
+	fmt.Fprint(w, "# TYPE wsd_fault_sims_total counter\n")
+	fmt.Fprintf(w, "wsd_fault_sims_total %d\n", m.faultSims)
 
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value)

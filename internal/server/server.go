@@ -149,6 +149,7 @@ type Server struct {
 	cancelBase context.CancelFunc
 	wg         sync.WaitGroup
 	busy       atomic.Int64
+	reqSeq     atomic.Uint64 // request ids for panic correlation
 	start      time.Time
 }
 
@@ -272,6 +273,9 @@ func (s *Server) execute(jb *job) {
 			s.metrics.add(&s.metrics.journalErrors, 1)
 		}
 		if !cached {
+			if !spec.cfg.Fault.Empty() {
+				s.metrics.add(&s.metrics.faultSims, 1)
+			}
 			if cell.Err != "" {
 				s.metrics.add(&s.metrics.simsFailed, 1)
 			} else {

@@ -77,13 +77,28 @@ func (d *domainUnit) tick(c uint64) {
 		}
 		d.netOutQ.popFront()
 	}
-	// NET inbound: into the domain's PEs.
+	// NET inbound: into the domain's PEs. After a kill, an in-flight
+	// operand's recorded destination may be stale: re-resolve it and, if
+	// the instruction now lives in another domain or cluster, forward the
+	// operand back through the outbound path instead of delivering here.
 	for n := 0; n < p.cfg.NetPEBW && !d.netInQ.empty(); n++ {
 		m := d.netInQ.peek(0)
 		if m.readyAt > c {
 			break
 		}
 		msg := d.netInQ.popFront()
+		if p.anyDead {
+			dst := p.loc(msg.tok.Tag.Thread, msg.tok.Dest.Inst)
+			if dst != msg.dst {
+				p.inj.CountHealed()
+				msg.dst = dst
+				if dst.Cluster != d.cluster || dst.Domain != d.index {
+					msg.readyAt = c + 1
+					d.netOutQ.push(msg)
+					continue
+				}
+			}
+		}
 		p.pe(msg.dst).enqueueIn(inMsg{readyAt: c + 2, sentAt: msg.sentAt, tok: msg.tok})
 	}
 	// MEM: one request per cycle toward the owning store buffer.

@@ -73,6 +73,7 @@ type peUnit struct {
 	outQ    fifo[outEntry]
 
 	stallUntil uint64 // instruction-store miss fetch in progress
+	dead       bool   // killed by a fault script; state already migrated
 
 	// parked holds k-rejected tokens per (instruction, thread): in
 	// hardware the senders keep retrying, but nothing can change until
@@ -88,8 +89,18 @@ type parkKey struct {
 	thread uint32
 }
 
-// enqueueIn delivers a token to the PE's input queue.
+// enqueueIn delivers a token to the PE's input queue. A token that was
+// in flight toward a PE killed mid-delivery heals: it re-resolves the
+// destination instruction's new host and is delivered there instead.
 func (pe *peUnit) enqueueIn(m inMsg) {
+	if pe.dead {
+		host := pe.p.pe(pe.p.loc(m.tok.Tag.Thread, m.tok.Dest.Inst))
+		if host != pe {
+			pe.p.inj.CountHealed()
+			host.inQ.push(m)
+			return
+		}
+	}
 	pe.inQ.push(m)
 }
 

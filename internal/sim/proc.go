@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 
 	"wavescalar/internal/cache"
+	"wavescalar/internal/fault"
 	"wavescalar/internal/isa"
 	"wavescalar/internal/noc"
 	"wavescalar/internal/place"
@@ -40,6 +42,9 @@ type pendingMemOp struct {
 	value    uint64
 	cluster  int
 	issuedAt uint64
+	addr     uint64
+	isStore  bool
+	attempt  int // re-issues under the fault model's drop/retry loop
 }
 
 // Processor is a configured WaveScalar machine executing one program on
@@ -62,6 +67,13 @@ type Processor struct {
 	outbox  fifo[*noc.Message] // retry queue for grid injections
 	pending map[uint64]pendingMemOp
 	reqSeq  uint64
+
+	// Fault machinery (all nil/empty on the faultless fast path).
+	inj       *fault.Injector
+	anyDead   bool          // at least one PE has been killed
+	fatalErr  error         // first fatal error latched by a callback
+	memRetryQ fifo[memRedo] // dropped memory responses awaiting re-issue
+	memHoldQ  fifo[memRedo] // delayed memory responses awaiting release
 
 	// rec is the optional event recorder (nil when tracing is off; every
 	// use is behind a nil check, so the disabled path costs one branch).
@@ -120,6 +132,12 @@ func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) 
 
 	// Build the machine.
 	arch := cfg.Arch
+	gw, gh := noc.DimsFor(arch.Clusters)
+	inj, err := fault.NewInjector(cfg.Fault, FaultShape(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	p.inj = inj
 	for ci := 0; ci < arch.Clusters; ci++ {
 		for di := 0; di < arch.Domains; di++ {
 			p.domains = append(p.domains, &domainUnit{p: p, cluster: ci, index: di})
@@ -130,6 +148,10 @@ func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) 
 	}
 	for ci := 0; ci < arch.Clusters; ci++ {
 		ci := ci
+		var extraDelay func(seq uint64) uint64
+		if inj != nil {
+			extraDelay = func(seq uint64) uint64 { return inj.SBDelay(ci, seq) }
+		}
 		p.sbs = append(p.sbs, storebuf.New(storebuf.Config{
 			Contexts:    cfg.SBContexts,
 			PSQs:        cfg.PSQs,
@@ -137,12 +159,15 @@ func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) 
 			PipelineLat: cfg.SBPipeLat,
 			Cluster:     ci,
 			Trace:       cfg.Trace,
+			ExtraDelay:  extraDelay,
 		}, func(cycle uint64, op storebuf.Issued) {
 			p.sbIssue(cycle, ci, op)
 		}))
 	}
-	w, h := noc.DimsFor(arch.Clusters)
-	p.grid = noc.New(w, h, noc.Config{PortBW: cfg.NocBW, QueueCap: cfg.NocQCap, Trace: cfg.Trace}, p.nocSink)
+	p.grid = noc.New(gw, gh, noc.Config{PortBW: cfg.NocBW, QueueCap: cfg.NocQCap, Trace: cfg.Trace}, p.nocSink)
+	if inj != nil {
+		p.grid.SetFaults(inj.LinkFlip, inj.LinkRetryCycles())
+	}
 	p.cacheSys = cache.New(cache.Config{
 		Clusters: arch.Clusters, L1KB: arch.L1KB, LineBytes: 128, L1Assoc: 4,
 		L1Lat: cfg.L1Lat, L1Ports: cfg.L1Ports, L2MB: arch.L2MB,
@@ -257,24 +282,53 @@ func (p *Processor) sbIssue(cycle uint64, cluster int, op storebuf.Issued) {
 		v := p.mem[op.Addr]
 		id := p.reqSeq
 		p.reqSeq++
-		p.pending[id] = pendingMemOp{inst: op.Inst, tag: op.Tag, value: v, cluster: cluster, issuedAt: cycle}
+		p.pending[id] = pendingMemOp{inst: op.Inst, tag: op.Tag, value: v, cluster: cluster,
+			issuedAt: cycle, addr: op.Addr}
 		p.cacheSys.Access(cycle, cluster, id, op.Addr, false)
 	case storebuf.IssueStore:
 		p.mem[op.Addr] = op.Data
 		id := p.reqSeq
 		p.reqSeq++
-		p.pending[id] = pendingMemOp{inst: op.Inst, tag: op.Tag, value: op.Data, cluster: cluster, issuedAt: cycle}
+		p.pending[id] = pendingMemOp{inst: op.Inst, tag: op.Tag, value: op.Data, cluster: cluster,
+			issuedAt: cycle, addr: op.Addr, isStore: true}
 		p.cacheSys.Access(cycle, cluster, id, op.Addr, true)
 	}
 }
 
-// cacheDone completes a memory access.
+// cacheDone completes a memory access. Under a fault script the
+// completion may be dropped (bounded retry with backoff) or delayed
+// (held and released later); an unknown request id is an internal
+// anomaly surfaced as ErrBadCompletion instead of the old panic.
 func (p *Processor) cacheDone(cycle uint64, cluster int, reqID uint64) {
 	pm, ok := p.pending[reqID]
 	if !ok {
-		panic(fmt.Sprintf("sim: unknown memory completion %d", reqID))
+		p.fatal(fmt.Errorf("sim: %w: request %d (cluster %d) at cycle %d",
+			ErrBadCompletion, reqID, cluster, cycle))
+		return
 	}
 	delete(p.pending, reqID)
+	if p.inj != nil {
+		if p.inj.MemDrop(reqID, pm.attempt) {
+			if pm.attempt+1 >= p.inj.MemRetryLimit() {
+				p.fatal(fmt.Errorf("sim: %w: request %d (%d attempts) at cycle %d (fault report: %s)",
+					ErrMemFault, reqID, pm.attempt+1, cycle, p.inj.Report()))
+				return
+			}
+			pm.attempt++
+			p.inj.CountMemRetry()
+			p.memRetryQ.push(memRedo{at: cycle + (8 << pm.attempt), id: reqID, pm: pm})
+			return
+		}
+		if d := p.inj.MemDelay(reqID, pm.attempt); d > 0 {
+			p.memHoldQ.push(memRedo{at: cycle + d, id: reqID, pm: pm})
+			return
+		}
+	}
+	p.finishMem(cycle, pm)
+}
+
+// finishMem delivers a completed memory operation's result.
+func (p *Processor) finishMem(cycle uint64, pm pendingMemOp) {
 	p.stats.MemAccesses++
 	p.stats.MemLatTotal += cycle - pm.issuedAt
 	p.progress = cycle
@@ -323,7 +377,19 @@ func (p *Processor) Run() (*Stats, error) {
 // error wrapping ctx's cause (matchable with errors.Is against
 // context.Canceled or context.DeadlineExceeded); the processor's state is
 // then mid-flight and the Processor must not be reused.
-func (p *Processor) RunContext(ctx context.Context) (*Stats, error) {
+//
+// A panic anywhere in the simulator core is recovered and returned as an
+// error wrapping ErrInternal, with a cycle-stamped machine dump: a bad
+// run never takes down the process (the explorer and the simulation
+// daemon both run many configurations per process).
+func (p *Processor) RunContext(ctx context.Context) (st *Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st = nil
+			err = fmt.Errorf("sim: %w: panic at cycle %d: %v\n%s\nstack:\n%s",
+				ErrInternal, p.cycle, r, p.dump(), debug.Stack())
+		}
+	}()
 	p.inject()
 	c := uint64(0)
 	for p.haltCount < p.threads {
@@ -337,10 +403,17 @@ func (p *Processor) RunContext(ctx context.Context) (*Stats, error) {
 				ErrMaxCycles, p.cfg.MaxCycles, p.haltCount, p.threads)
 		}
 		if c > p.progress && c-p.progress > p.cfg.StallLimit {
+			if p.faultsManifested() {
+				return nil, fmt.Errorf("sim: %w for %d cycles at cycle %d (fault report: %s):\n%s",
+					ErrFaultStall, p.cfg.StallLimit, c, p.inj.Report(), p.dump())
+			}
 			return nil, fmt.Errorf("sim: %w for %d cycles at cycle %d:\n%s",
 				ErrDeadlock, p.cfg.StallLimit, c, p.dump())
 		}
 		p.tick(c)
+		if err := p.runErr(c); err != nil {
+			return nil, err
+		}
 		c++
 	}
 	p.stats.Cycles = p.lastHalt + 1
@@ -353,13 +426,32 @@ func (p *Processor) RunContext(ctx context.Context) (*Stats, error) {
 			}
 		}
 		p.tick(c)
+		if err := p.runErr(c); err != nil {
+			return nil, err
+		}
 		c++
 	}
 	if !p.quiesced() {
+		if p.faultsManifested() {
+			return nil, fmt.Errorf("sim: %w: post-halt drain stuck (fault report: %s):\n%s",
+				ErrFaultStall, p.inj.Report(), p.dump())
+		}
 		return nil, fmt.Errorf("sim: %w:\n%s", ErrNotQuiesced, p.dump())
 	}
 	p.collect()
 	return &p.stats, nil
+}
+
+// runErr surfaces fatal conditions latched by component callbacks during
+// the cycle: the processor's own fatal latch and the interconnect's
+// structured-error latch (which replaced its panics).
+func (p *Processor) runErr(c uint64) error {
+	if p.fatalErr == nil {
+		if gerr := p.grid.Err(); gerr != nil {
+			p.fatalErr = fmt.Errorf("sim: interconnect error at cycle %d: %w", c, gerr)
+		}
+	}
+	return p.fatalErr
 }
 
 // inject delivers every thread's parameter tokens at cycle 0.
@@ -386,6 +478,9 @@ func (p *Processor) inject() {
 // tick advances the whole machine one cycle.
 func (p *Processor) tick(c uint64) {
 	p.cycle = c
+	if p.inj != nil {
+		p.applyFaults(c)
+	}
 	p.grid.Tick(c)
 	p.cacheSys.Tick(c)
 	for _, sb := range p.sbs {
@@ -429,6 +524,9 @@ func (p *Processor) tick(c uint64) {
 // quiesced reports whether all queues have drained.
 func (p *Processor) quiesced() bool {
 	if len(p.pending) > 0 || p.grid.Pending() > 0 || p.cacheSys.Outstanding() > 0 || !p.outbox.empty() {
+		return false
+	}
+	if !p.memRetryQ.empty() || !p.memHoldQ.empty() {
 		return false
 	}
 	for _, sb := range p.sbs {
@@ -477,6 +575,9 @@ func (p *Processor) collect() {
 	}
 	p.stats.Cache = p.cacheSys.Stats()
 	p.stats.Noc = p.grid.Stats()
+	if p.inj != nil {
+		p.stats.Fault = p.inj.Report()
+	}
 }
 
 // dump renders diagnostic state for the deadlock report.

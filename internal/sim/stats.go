@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"wavescalar/internal/cache"
+	"wavescalar/internal/fault"
 	"wavescalar/internal/match"
 	"wavescalar/internal/noc"
 	"wavescalar/internal/storebuf"
@@ -93,6 +94,11 @@ type Stats struct {
 	SpecFires    uint64 // back-to-back bypass executions
 	OutQStalls   uint64 // cycles EXECUTE blocked on a full output queue
 	InputRejects uint64 // tokens that failed INPUT acceptance this run
+
+	// Fault is the injected-fault report; all-zero (and omitted from
+	// Format) for faultless runs, keeping their stats byte-identical to
+	// builds without a fault script.
+	Fault fault.Report
 }
 
 // AIPC returns Alpha-equivalent instructions per cycle.
@@ -184,5 +190,8 @@ func (s *Stats) Format() string {
 	fmt.Fprintf(&b, "avg mem latency   %.1f cycles over %d accesses\n", s.AvgMemLatency(), s.MemAccesses)
 	fmt.Fprintf(&b, "avg operand lat   %.2f cycles over %d deliveries\n", s.AvgOperandLatency(), s.OperandCount)
 	fmt.Fprintf(&b, "spec fires        %d of %d dispatches\n", s.SpecFires, s.Dispatches)
+	if s.Fault != (fault.Report{}) {
+		fmt.Fprintf(&b, "faults            %s\n", s.Fault)
+	}
 	return b.String()
 }
