@@ -1,0 +1,120 @@
+// Golden-stats determinism check: every bundled kernel's tiny-scale Stats
+// digest is pinned in testdata/golden_stats.json. Any change to simulated
+// behavior — intended or not — shows up here before it reaches the
+// benchmark baselines, the explore cache or the paper's tables.
+//
+// If your change legitimately alters simulation results, regenerate the
+// file with
+//
+//	go test -run TestGoldenStats -update .
+//
+// and include the marker "golden:" in your commit message so CI accepts
+// the drift (see .github/workflows/ci.yml).
+package wavescalar_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"sort"
+	"testing"
+
+	"wavescalar"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_stats.json from this build")
+
+const goldenPath = "testdata/golden_stats.json"
+
+// goldenCase names one pinned run. Splash2 kernels are additionally pinned
+// at 4 threads: the multithreaded path (wave ordering across store-buffer
+// contexts, cluster-level traffic) has its own ways to drift.
+type goldenCase struct {
+	name    string
+	threads int
+}
+
+func goldenCases(t *testing.T) []goldenCase {
+	var cases []goldenCase
+	for _, w := range wavescalar.Workloads() {
+		cases = append(cases, goldenCase{name: w.Name, threads: 1})
+		if w.Build(wavescalar.ScaleTiny).MaxThreads > 1 {
+			cases = append(cases, goldenCase{name: w.Name, threads: 4})
+		}
+	}
+	if len(cases) == 0 {
+		t.Fatal("no bundled workloads")
+	}
+	sort.Slice(cases, func(i, j int) bool {
+		a, b := cases[i], cases[j]
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.threads < b.threads
+	})
+	return cases
+}
+
+func (c goldenCase) key() string {
+	return c.name + "/t" + string(rune('0'+c.threads))
+}
+
+func TestGoldenStats(t *testing.T) {
+	got := make(map[string]string)
+	for _, c := range goldenCases(t) {
+		st, err := wavescalar.RunWorkload(
+			wavescalar.Baseline(wavescalar.BaselineArch()),
+			c.name, wavescalar.ScaleTiny, c.threads)
+		if err != nil {
+			t.Fatalf("%s (%d threads): %v", c.name, c.threads, err)
+		}
+		got[c.key()] = st.Digest()
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden digests to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestGoldenStats -update .`): %v", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("%s: %v", goldenPath, err)
+	}
+
+	drift := false
+	for key, d := range got {
+		w, ok := want[key]
+		switch {
+		case !ok:
+			t.Errorf("%s: no golden digest recorded", key)
+			drift = true
+		case w != d:
+			t.Errorf("%s: stats digest drifted\n  golden: %s\n  got:    %s", key, w, d)
+			drift = true
+		}
+	}
+	for key := range want {
+		if _, ok := got[key]; !ok {
+			t.Errorf("%s: golden digest has no matching workload (removed kernel?)", key)
+			drift = true
+		}
+	}
+	if drift {
+		t.Log("If this change is intentional, regenerate with " +
+			"`go test -run TestGoldenStats -update .` and put `golden:` in the commit message.")
+	}
+}

@@ -14,7 +14,6 @@
 package cache
 
 import (
-	"container/heap"
 	"container/list"
 	"fmt"
 
@@ -154,18 +153,57 @@ const (
 	evFill
 )
 
+// eventHeap is a hand-rolled binary min-heap: container/heap's interface
+// methods box every pushed and popped event, which shows up as the cache's
+// only steady-state allocation, so the sift operations are written out.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) popMin() event {
+	s := *h
+	min := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && s.less(r, l) {
+			small = r
+		}
+		if !s.less(small, i) {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return min
+}
 
 // System is the whole data-memory hierarchy.
 type System struct {
@@ -508,13 +546,13 @@ func (s *System) post(cycle uint64, m *noc.Message) {
 func (s *System) schedule(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(e)
 }
 
 // Tick drains due events and retries pending injections.
 func (s *System) Tick(cycle uint64) {
 	for len(s.events) > 0 && s.events[0].at <= cycle {
-		e := heap.Pop(&s.events).(event)
+		e := s.events.popMin()
 		if e.kind == evDone {
 			s.done(cycle, e.cluster, e.reqID)
 		}

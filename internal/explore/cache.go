@@ -27,6 +27,11 @@ import (
 // existed still resume.
 func CellKey(cfg sim.Config, app string, sc workload.Scale, threadCounts []int) string {
 	cfg.Trace = nil
+	// The scheduling strategy is excluded for the same reason as the trace
+	// recorder: the active-set and full-scan schedulers produce
+	// byte-identical Stats (enforced by the equivalence tests), so the
+	// sweep cache stays valid across either.
+	cfg.Sched = 0
 	script := cfg.Fault
 	cfg.Fault = nil
 	h := sha256.New()
@@ -42,6 +47,7 @@ func CellKey(cfg sim.Config, app string, sc workload.Scale, threadCounts []int) 
 // tuning schedule (scale, Ks, Us, Tol).
 func TuneKey(base sim.Config, app string, opt design.TuneOptions) string {
 	base.Trace = nil
+	base.Sched = 0 // scheduler strategy never changes results (see CellKey)
 	script := base.Fault
 	base.Fault = nil
 	h := sha256.New()

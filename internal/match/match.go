@@ -83,6 +83,14 @@ type Table struct {
 	cfg      Config
 	sets     [][]Entry // [set][way]
 	overflow map[key]*Entry
+	// free recycles overflow entries: an overflow hit returns its *Entry
+	// here, the next displacement reuses it, so steady-state eviction
+	// churn allocates nothing.
+	free []*Entry
+	// done is the scratch slot returned by Insert's Completed path; it is
+	// valid only until the next Insert, which every caller respects (the
+	// completed instance is copied into a scheduling-queue entry at once).
+	done     Entry
 	live     int
 	releases uint64 // bumps whenever an entry frees (quota may have opened)
 	stats    Stats
@@ -195,6 +203,7 @@ func (t *Table) Insert(tok isa.Token, localIdx int, required uint8, cycle uint64
 			delete(t.overflow, k)
 			slot = t.allocate(si)
 			*slot = *oe
+			t.free = append(t.free, oe)
 			slot.valid = true
 			t.live++
 			readyAt = cycle + 1 + overflowPenalty
@@ -212,8 +221,9 @@ func (t *Table) Insert(tok isa.Token, localIdx int, required uint8, cycle uint64
 				t.stats.KRejects++
 				return Rejected, nil
 			}
-			ov := *youngest
-			t.overflow[key{inst: ov.Inst, tag: ov.Tag}] = &ov
+			ov := t.newOverflow()
+			*ov = *youngest
+			t.overflow[key{inst: ov.Inst, tag: ov.Tag}] = ov
 			t.stats.Evictions++
 			t.release(youngest)
 		}
@@ -240,9 +250,9 @@ func (t *Table) Insert(tok isa.Token, localIdx int, required uint8, cycle uint64
 	}
 	if slot.Complete() {
 		t.stats.Matches++
-		e := *slot
+		t.done = *slot
 		t.release(slot)
-		return Completed, &e
+		return Completed, &t.done
 	}
 	return Stored, slot
 }
@@ -318,11 +328,23 @@ func (t *Table) allocate(si int) *Entry {
 		}
 	}
 	// Evict the oldest partial match to the in-memory table.
-	ov := *victim
-	t.overflow[key{inst: ov.Inst, tag: ov.Tag}] = &ov
+	ov := t.newOverflow()
+	*ov = *victim
+	t.overflow[key{inst: ov.Inst, tag: ov.Tag}] = ov
 	t.stats.Evictions++
 	t.release(victim)
 	return victim
+}
+
+// newOverflow returns a recycled overflow entry, or a fresh one when the
+// free list is empty.
+func (t *Table) newOverflow() *Entry {
+	if n := len(t.free); n > 0 {
+		e := t.free[n-1]
+		t.free = t.free[:n-1]
+		return e
+	}
+	return new(Entry)
 }
 
 // OverflowSize returns how many partial matches live in the in-memory
@@ -364,7 +386,9 @@ func (t *Table) DrainEntries() []Entry {
 			return a.tag.Wave < b.tag.Wave
 		})
 		for _, k := range keys {
-			out = append(out, *t.overflow[k])
+			oe := t.overflow[k]
+			out = append(out, *oe)
+			t.free = append(t.free, oe)
 		}
 		t.overflow = make(map[key]*Entry)
 	}

@@ -13,6 +13,7 @@ package noc
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"wavescalar/internal/trace"
 )
@@ -107,8 +108,42 @@ type Stats struct {
 	LinksDown   int    // permanently failed links
 }
 
+// queue is one output port's per-VC buffer: a head-indexed slice with
+// amortized O(1) pop that reuses its backing array, so steady-state
+// traffic allocates nothing.
 type queue struct {
 	msgs []*Message
+	head int
+}
+
+func (q *queue) len() int { return len(q.msgs) - q.head }
+
+func (q *queue) push(m *Message) { q.msgs = append(q.msgs, m) }
+
+func (q *queue) front() *Message { return q.msgs[q.head] }
+
+func (q *queue) popFront() *Message {
+	m := q.msgs[q.head]
+	q.msgs[q.head] = nil
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 >= len(q.msgs) {
+		n := copy(q.msgs, q.msgs[q.head:])
+		clear(q.msgs[n:])
+		q.msgs = q.msgs[:n]
+		q.head = 0
+	}
+	return m
+}
+
+// take empties the queue and returns its contents (fault reroute path).
+func (q *queue) take() []*Message {
+	out := q.msgs[q.head:]
+	q.msgs = nil
+	q.head = 0
+	return out
 }
 
 // portNone marks "no route" in the reroute tables.
@@ -117,6 +152,9 @@ const portNone OutPort = -1
 type sw struct {
 	x, y int
 	out  [numPorts][numVCs]queue
+	// queued counts buffered messages across all ports/VCs; a switch with
+	// none is skipped by Tick entirely.
+	queued int
 	// dead[p] marks the outgoing link through cardinal port p failed.
 	dead [4]bool
 }
@@ -130,6 +168,18 @@ type Grid struct {
 	stats Stats
 	// staging for the two-phase tick
 	arrivals []arrival
+	// Active-switch work list: only switches holding messages are visited
+	// by Tick (ascending index order, matching the old full scan). armed
+	// makes arming idempotent; actBuf is the sorted drain snapshot.
+	active []int32
+	armed  []bool
+	actBuf []int32
+	// staged[(sw*numPorts+port)*numVCs+vc] counts messages staged into a
+	// destination queue this cycle (two-phase hop accounting); touched
+	// lists the dirtied entries so the reset is O(work), and the flat
+	// array replaces what was a per-cycle map allocation.
+	staged  []int16
+	touched []int32
 
 	// err latches the first internal anomaly (bad message, off-grid
 	// route); the owner polls Err() and aborts the run.
@@ -170,7 +220,17 @@ func New(w, h int, cfg Config, sink Sink) *Grid {
 			g.sws = append(g.sws, &sw{x: x, y: y})
 		}
 	}
+	g.armed = make([]bool, len(g.sws))
+	g.staged = make([]int16, len(g.sws)*int(numPorts)*numVCs)
 	return g
+}
+
+// arm registers a switch into the next Tick's work list (idempotent).
+func (g *Grid) arm(si int) {
+	if !g.armed[si] {
+		g.armed[si] = true
+		g.active = append(g.active, int32(si))
+	}
 }
 
 // Dims returns the grid dimensions.
@@ -268,12 +328,14 @@ func (g *Grid) Send(cycle uint64, m *Message) bool {
 		return false
 	}
 	q := &s.out[port][m.VC]
-	if len(q.msgs) >= g.cfg.QueueCap {
+	if q.len() >= g.cfg.QueueCap {
 		g.stats.InjectFull++
 		return false
 	}
 	m.Injected = cycle
-	q.msgs = append(q.msgs, m)
+	q.push(m)
+	s.queued++
+	g.arm(m.Src)
 	g.stats.Injected++
 	return true
 }
@@ -371,11 +433,7 @@ func (g *Grid) recomputeRoutes() {
 func (g *Grid) restage(si int, deadPort OutPort) {
 	s := g.sws[si]
 	for vc := 0; vc < numVCs; vc++ {
-		msgs := s.out[deadPort][vc].msgs
-		if len(msgs) == 0 {
-			continue
-		}
-		s.out[deadPort][vc].msgs = nil
+		msgs := s.out[deadPort][vc].take()
 		for _, m := range msgs {
 			port := g.route(s, m)
 			if port == portNone {
@@ -384,29 +442,46 @@ func (g *Grid) restage(si int, deadPort OutPort) {
 				// machine never quiesces with lost tokens — the
 				// simulator's watchdog reports a fault stall instead.
 				g.parked = append(g.parked, m)
+				s.queued--
 				g.stats.Unroutable++
 				continue
 			}
-			s.out[port][vc].msgs = append(s.out[port][vc].msgs, m)
+			s.out[port][vc].push(m)
 			g.stats.Rerouted++
 		}
+	}
+	if s.queued > 0 {
+		g.arm(si)
 	}
 }
 
 // Tick advances the network one cycle: each output port forwards up to
 // PortBW messages one hop (to the next switch's output queue, or to the
 // sink on arrival). Two-phase so a message moves at most one hop per cycle.
+//
+// Only switches on the active list are visited, so an idle or
+// lightly-loaded fabric costs O(messages in flight), not O(switches).
+// The work list is snapshotted sorted ascending — the old full scan's
+// visit order — and every switch still holding traffic re-arms, so the
+// cycle-by-cycle behaviour (and therefore Stats) is byte-identical.
 func (g *Grid) Tick(cycle uint64) {
-	g.arrivals = g.arrivals[:0]
-	// Staged occupancy per destination queue this cycle.
-	type qref struct {
-		sw   int
-		port OutPort
-		vc   int
+	if len(g.active) == 0 {
+		return
 	}
-	staged := make(map[qref]int)
+	g.arrivals = g.arrivals[:0]
+	g.actBuf = append(g.actBuf[:0], g.active...)
+	g.active = g.active[:0]
+	for _, si := range g.actBuf {
+		g.armed[si] = false
+	}
+	slices.Sort(g.actBuf)
 
-	for si, s := range g.sws {
+	for _, si32 := range g.actBuf {
+		si := int(si32)
+		s := g.sws[si]
+		if s.queued == 0 {
+			continue
+		}
 		for port := OutPort(0); port < numPorts; port++ {
 			budget := g.cfg.PortBW
 			// Round-robin the VCs starting from the cycle parity for
@@ -414,15 +489,16 @@ func (g *Grid) Tick(cycle uint64) {
 			for i := 0; i < numVCs && budget > 0; i++ {
 				vc := (int(cycle) + i) % numVCs
 				q := &s.out[port][vc]
-				for budget > 0 && len(q.msgs) > 0 {
-					m := q.msgs[0]
+				for budget > 0 && q.len() > 0 {
+					m := q.front()
 					if m.RetryAt > cycle {
 						break // retransmit hold after a transient fault
 					}
 					if port == PortPE || port == PortMem {
 						// Arrived: deliver to the cluster.
 						g.deliver(cycle, port, m)
-						q.msgs = q.msgs[1:]
+						q.popFront()
+						s.queued--
 						budget--
 						continue
 					}
@@ -437,7 +513,8 @@ func (g *Grid) Tick(cycle uint64) {
 					ni, ok := g.step(si, port)
 					if !ok {
 						g.fail(fmt.Errorf("%w: from switch %d via port %d", ErrOffGrid, si, port))
-						q.msgs = q.msgs[1:]
+						q.popFront()
+						s.queued--
 						continue
 					}
 					ns := g.sws[ni]
@@ -447,27 +524,41 @@ func (g *Grid) Tick(cycle uint64) {
 						// park it rather than lose it.
 						g.parked = append(g.parked, m)
 						g.stats.Unroutable++
-						q.msgs = q.msgs[1:]
+						q.popFront()
+						s.queued--
 						continue
 					}
-					ref := qref{sw: ni, port: nport, vc: vc}
-					if len(ns.out[nport][vc].msgs)+staged[ref] >= g.cfg.QueueCap {
+					ref := (ni*int(numPorts)+int(nport))*numVCs + vc
+					if ns.out[nport][vc].len()+int(g.staged[ref]) >= g.cfg.QueueCap {
 						g.stats.Blocked++
 						break // head-of-line blocked on this VC
 					}
-					staged[ref]++
+					if g.staged[ref] == 0 {
+						g.touched = append(g.touched, int32(ref))
+					}
+					g.staged[ref]++
 					m.Hops++
 					g.arrivals = append(g.arrivals, arrival{sw: ni, port: nport, vc: vc, m: m})
-					q.msgs = q.msgs[1:]
+					q.popFront()
+					s.queued--
 					budget--
 				}
 			}
 		}
+		if s.queued > 0 {
+			g.arm(si)
+		}
 	}
 	for _, a := range g.arrivals {
-		q := &g.sws[a.sw].out[a.port][a.vc]
-		q.msgs = append(q.msgs, a.m)
+		ns := g.sws[a.sw]
+		ns.out[a.port][a.vc].push(a.m)
+		ns.queued++
+		g.arm(a.sw)
 	}
+	for _, ref := range g.touched {
+		g.staged[ref] = 0
+	}
+	g.touched = g.touched[:0]
 }
 
 func (g *Grid) deliver(cycle uint64, port OutPort, m *Message) {
@@ -507,11 +598,7 @@ func (g *Grid) step(si int, port OutPort) (int, bool) {
 func (g *Grid) Pending() int {
 	n := len(g.parked)
 	for _, s := range g.sws {
-		for p := OutPort(0); p < numPorts; p++ {
-			for vc := 0; vc < numVCs; vc++ {
-				n += len(s.out[p][vc].msgs)
-			}
-		}
+		n += s.queued
 	}
 	return n
 }

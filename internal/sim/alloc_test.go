@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"wavescalar/internal/workload"
+)
+
+// steadyProc builds an fft/small processor and runs it past startup, so
+// every freelist is primed and tokens are in full flight.
+func steadyProc(tb testing.TB) (*Processor, uint64) {
+	tb.Helper()
+	w, ok := workload.ByName("fft")
+	if !ok {
+		tb.Fatal("fft workload missing")
+	}
+	inst := w.Build(workload.Small)
+	p, err := New(Baseline(BaselineArch()), inst.Prog, inst.Params(1), Memory(inst.Mem))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p.inject()
+	const warm = 5000
+	for c := uint64(0); c < warm; c++ {
+		p.tick(c)
+	}
+	return p, warm
+}
+
+// TestSteadyStateZeroAlloc drives the simulator mid-run — tokens flowing
+// through matching tables, store buffers and the NoC — and requires the
+// per-cycle tick to allocate nothing: the freelists and recycled buffers
+// must cover the whole token path.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	p, c := steadyProc(t)
+	per := testing.AllocsPerRun(2000, func() {
+		p.tick(c)
+		c++
+	})
+	if per != 0 {
+		t.Errorf("steady-state tick allocates %.2f objects/cycle, want 0", per)
+	}
+}
+
+// BenchmarkSteadyStateTick measures the per-cycle cost of the active-set
+// scheduler mid-run; -benchmem must report 0 allocs/op.
+func BenchmarkSteadyStateTick(b *testing.B) {
+	p, c := steadyProc(b)
+	const limit = 150_000 // stay inside the run (fft/small is ~177k cycles)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c == limit {
+			b.StopTimer()
+			p, c = steadyProc(b)
+			b.StartTimer()
+		}
+		p.tick(c)
+		c++
+	}
+}
+
+// BenchmarkFullScanTick is the same measurement under the reference
+// scheduler, for comparing the two in one -bench run.
+func BenchmarkFullScanTick(b *testing.B) {
+	w, ok := workload.ByName("fft")
+	if !ok {
+		b.Fatal("fft workload missing")
+	}
+	inst := w.Build(workload.Small)
+	build := func() (*Processor, uint64) {
+		cfg := Baseline(BaselineArch())
+		cfg.Sched = SchedFullScan
+		p, err := New(cfg, inst.Prog, inst.Params(1), Memory(inst.Mem))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.inject()
+		const warm = 5000
+		for c := uint64(0); c < warm; c++ {
+			p.tick(c)
+		}
+		return p, warm
+	}
+	p, c := build()
+	const limit = 150_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c == limit {
+			b.StopTimer()
+			p, c = build()
+			b.StartTimer()
+		}
+		p.tick(c)
+		c++
+	}
+}

@@ -31,6 +31,7 @@ type domainUnit struct {
 	p       *Processor
 	cluster int
 	index   int
+	gidx    int32 // index into Processor.domains, for the active-set work lists
 
 	netOutQ fifo[netMsg]    // PE results leaving the domain
 	netInQ  fifo[netMsg]    // operands entering the domain
@@ -63,13 +64,17 @@ func (d *domainUnit) tick(c uint64) {
 				p.rec.NetHop(c, d.cluster, d.index, d.cluster)
 			}
 			target.netInQ.push(msg)
+			p.actDomain.arm(target.gidx)
 			continue
 		}
-		ok := p.grid.Send(c, &noc.Message{
-			Src: d.cluster, Dst: m.dst.Cluster, VC: noc.VCOperand,
-			Payload: operandPayload{tok: m.tok, dst: m.dst, sentAt: m.sentAt},
-		})
+		pl := p.newPayload()
+		*pl = operandPayload{tok: m.tok, dst: m.dst, sentAt: m.sentAt}
+		gm := p.newMsg()
+		*gm = noc.Message{Src: d.cluster, Dst: m.dst.Cluster, VC: noc.VCOperand, Payload: pl}
+		ok := p.grid.Send(c, gm)
 		if !ok {
+			p.payFree = append(p.payFree, pl)
+			p.msgFree = append(p.msgFree, gm)
 			break // grid injection backpressure; retry next cycle
 		}
 		if p.rec != nil {
@@ -108,13 +113,15 @@ func (d *domainUnit) tick(c uint64) {
 		if home == d.cluster {
 			e := d.memQ.popFront()
 			p.sbs[d.cluster].Enqueue(c+1, *e.req)
+			p.actSB.arm(int32(d.cluster))
+			p.freeReq(e.req)
 		} else {
-			ok := p.grid.Send(c, &noc.Message{
-				Src: d.cluster, Dst: home, ToMem: true, VC: noc.VCMemory,
-				Payload: m.req,
-			})
-			if ok {
+			gm := p.newMsg()
+			*gm = noc.Message{Src: d.cluster, Dst: home, ToMem: true, VC: noc.VCMemory, Payload: m.req}
+			if p.grid.Send(c, gm) {
 				d.memQ.popFront()
+			} else {
+				p.msgFree = append(p.msgFree, gm)
 			}
 		}
 	}

@@ -215,6 +215,7 @@ func (p *Processor) migratePE(c, readyAt uint64, pe *peUnit) int {
 		se.fast = false
 		npe := p.pe(p.loc(se.tag.Thread, se.inst))
 		npe.schedQ.push(se)
+		npe.wakeDispatch()
 		moved++
 	}
 
@@ -224,13 +225,17 @@ func (p *Processor) migratePE(c, readyAt uint64, pe *peUnit) int {
 	for !pe.pending.empty() {
 		r := pe.pending.popFront()
 		r.doneAt = readyAt
-		p.pe(p.loc(r.tag.Thread, r.inst)).pending.push(r)
+		npe := p.pe(p.loc(r.tag.Thread, r.inst))
+		npe.pending.push(r)
+		npe.wakeComplete()
 		moved++
 	}
 	for !pe.outQ.empty() {
 		e := pe.outQ.popFront()
 		e.readyAt = readyAt
-		p.pe(p.loc(e.tag.Thread, e.inst)).outQ.push(e)
+		npe := p.pe(p.loc(e.tag.Thread, e.inst))
+		npe.outQ.push(e)
+		npe.wakeOutput()
 		moved++
 	}
 	pe.stallUntil = 0

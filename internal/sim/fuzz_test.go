@@ -125,3 +125,98 @@ func TestFuzzSimMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+// FuzzFifoOps drives a fifo with an arbitrary operation stream and
+// cross-checks every observation against a plain-slice reference. The
+// scheduler's correctness rests on these queues preserving FIFO order
+// through head compaction, in-place slack opening and mid-queue removal,
+// so the structure gets an unbounded adversary in addition to the
+// randomized tests in queue_test.go. Run nightly with -fuzz (see
+// .github/workflows/nightly.yml).
+func FuzzFifoOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 0, 3})
+	f.Add([]byte{2, 2, 2, 0, 1, 0, 1, 0, 1})
+	f.Add([]byte{0, 0, 0, 0, 3, 3, 3, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q fifo[int]
+		var fref []int
+		next := 0
+		for step, b := range ops {
+			switch b % 4 {
+			case 0: // push
+				q.push(next)
+				fref = append(fref, next)
+				next++
+			case 1: // popFront
+				if len(fref) == 0 {
+					continue
+				}
+				got, want := q.popFront(), fref[0]
+				fref = fref[1:]
+				if got != want {
+					t.Fatalf("step %d: popFront = %d, want %d", step, got, want)
+				}
+			case 2: // pushFront
+				q.pushFront(next)
+				fref = append([]int{next}, fref...)
+				next++
+			case 3: // remove at a position derived from the opcode
+				if len(fref) == 0 {
+					continue
+				}
+				i := (int(b) / 4) % len(fref)
+				got, want := q.remove(i), fref[i]
+				fref = append(fref[:i], fref[i+1:]...)
+				if got != want {
+					t.Fatalf("step %d: remove(%d) = %d, want %d", step, i, got, want)
+				}
+			}
+			if q.len() != len(fref) {
+				t.Fatalf("step %d: len = %d, want %d", step, q.len(), len(fref))
+			}
+		}
+		for i, want := range fref {
+			if got := *q.peek(i); got != want {
+				t.Fatalf("final peek(%d) = %d, want %d", i, got, want)
+			}
+		}
+	})
+}
+
+// FuzzActiveSetOps checks the work-list invariants — arm is idempotent,
+// drain is sorted and complete, nothing armed is ever lost — under an
+// arbitrary interleaving of arms and drains.
+func FuzzActiveSetOps(f *testing.F) {
+	f.Add([]byte{5, 3, 5, 255, 7})
+	f.Add([]byte{255, 0, 0, 255, 255, 1, 255})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const n = 32
+		s := newActiveSet(n)
+		armed := make(map[int32]bool)
+		for step, b := range ops {
+			if b == 255 { // drain
+				got := s.drain()
+				if len(got) != len(armed) {
+					t.Fatalf("step %d: drain returned %d indices, want %d", step, len(got), len(armed))
+				}
+				for i, v := range got {
+					if !armed[v] {
+						t.Fatalf("step %d: drained %d which was never armed", step, v)
+					}
+					if i > 0 && got[i-1] >= v {
+						t.Fatalf("step %d: drain not sorted/deduplicated: %v", step, got)
+					}
+				}
+				armed = make(map[int32]bool)
+				continue
+			}
+			i := int32(b) % n
+			s.arm(i)
+			armed[i] = true
+		}
+		got := s.drain()
+		if len(got) != len(armed) {
+			t.Fatalf("final drain returned %d indices, want %d", len(got), len(armed))
+		}
+	})
+}

@@ -64,6 +64,7 @@ type outEntry struct {
 type peUnit struct {
 	p    *Processor
 	addr place.PEAddr
+	gidx int32 // index into Processor.pes, for the active-set work lists
 	mt   *match.Table
 	ist  *istore.Store
 
@@ -82,12 +83,24 @@ type peUnit struct {
 	parked      map[parkKey][]isa.Token
 	parkedCount int
 	reinject    []isa.Token
+	// parkFree recycles the per-key token slices: onRelease returns the
+	// emptied slice here and park reuses its capacity, so steady-state
+	// k-reject churn allocates nothing.
+	parkFree [][]isa.Token
 }
 
 type parkKey struct {
 	inst   isa.InstID
 	thread uint32
 }
+
+// Wake helpers arm the PE into a phase's work list; every push into the
+// corresponding queue must be paired with one (idempotent, so over-arming
+// is harmless but under-arming loses work).
+func (pe *peUnit) wakeInput()    { pe.p.actInput.arm(pe.gidx) }
+func (pe *peUnit) wakeDispatch() { pe.p.actDispatch.arm(pe.gidx) }
+func (pe *peUnit) wakeComplete() { pe.p.actComplete.arm(pe.gidx) }
+func (pe *peUnit) wakeOutput()   { pe.p.actOutput.arm(pe.gidx) }
 
 // enqueueIn delivers a token to the PE's input queue. A token that was
 // in flight toward a PE killed mid-delivery heals: it re-resolves the
@@ -98,10 +111,12 @@ func (pe *peUnit) enqueueIn(m inMsg) {
 		if host != pe {
 			pe.p.inj.CountHealed()
 			host.inQ.push(m)
+			host.wakeInput()
 			return
 		}
 	}
 	pe.inQ.push(m)
+	pe.wakeInput()
 }
 
 // insert delivers a token to the matching table, recording the insert and
@@ -126,7 +141,14 @@ func (pe *peUnit) insert(c uint64, tok isa.Token, li int, req uint8) (match.Outc
 // park shelves a k-rejected token until the quota can have opened.
 func (pe *peUnit) park(tok isa.Token) {
 	k := parkKey{inst: tok.Dest.Inst, thread: tok.Tag.Thread}
-	pe.parked[k] = append(pe.parked[k], tok)
+	s, ok := pe.parked[k]
+	if !ok {
+		if n := len(pe.parkFree); n > 0 {
+			s = pe.parkFree[n-1][:0]
+			pe.parkFree = pe.parkFree[:n-1]
+		}
+	}
+	pe.parked[k] = append(s, tok)
 	pe.parkedCount++
 }
 
@@ -144,6 +166,8 @@ func (pe *peUnit) onRelease(inst isa.InstID, thread uint32) {
 	delete(pe.parked, k)
 	pe.parkedCount -= len(toks)
 	pe.reinject = append(pe.reinject, toks...)
+	pe.parkFree = append(pe.parkFree, toks[:0])
+	pe.wakeInput()
 }
 
 func newPE(p *Processor, addr place.PEAddr) *peUnit {
@@ -203,9 +227,10 @@ func (pe *peUnit) phaseComplete(c uint64) {
 func (pe *peUnit) deliver(c uint64, r execResult) {
 	if r.memReq != nil {
 		pe.outQ.push(outEntry{readyAt: c + 1, sentAt: c, inst: r.inst, tag: r.tag, memReq: r.memReq})
+		pe.wakeOutput()
 		return
 	}
-	var remote []isa.Target
+	remote := pe.p.getTargets()
 	for _, d := range r.dests {
 		dst := pe.p.loc(r.tag.Thread, d.Inst)
 		if dst == pe.addr || (pe.p.cfg.PodSize == 2 && dst.SamePod(pe.addr)) {
@@ -232,6 +257,9 @@ func (pe *peUnit) deliver(c uint64, r execResult) {
 		pe.outQ.push(outEntry{
 			readyAt: c + 1, sentAt: c, inst: r.inst, tag: r.tag, value: r.value, dests: remote,
 		})
+		pe.wakeOutput()
+	} else {
+		pe.p.putTargets(remote)
 	}
 }
 
@@ -257,6 +285,7 @@ func (pe *peUnit) acceptBypass(c uint64, tok isa.Token) {
 			readyAt: ready, inst: e.Inst, tag: e.Tag, vals: e.Vals,
 			fast: pe.p.cfg.SpecFire, addrSent: e.AddrSent,
 		})
+		pe.wakeDispatch()
 	case match.Stored:
 		pe.maybeStoreAddrHalf(c, tok, e)
 	}
@@ -273,6 +302,7 @@ func (pe *peUnit) maybeStoreAddrHalf(c uint64, tok isa.Token, e *match.Entry) {
 		readyAt: e.ReadyAt + 1, inst: e.Inst, tag: e.Tag, vals: e.Vals,
 		kind: schedStoreAddr,
 	})
+	pe.wakeDispatch()
 }
 
 // phaseDispatch issues at most one instruction instance per cycle.
@@ -316,6 +346,7 @@ func (pe *peUnit) dispatch(c uint64, se schedEntry) {
 		pe.stallUntil = c + uint64(pe.p.cfg.InstMissPenalty)
 		se.readyAt = pe.stallUntil
 		pe.schedQ.pushFront(se)
+		pe.wakeDispatch()
 		if pe.p.rec != nil {
 			pe.p.rec.PEStall(c, pe.addr.Cluster, pe.addr.Domain, pe.addr.PE,
 				trace.StallIStoreMiss, pe.p.cfg.InstMissPenalty)
@@ -364,31 +395,27 @@ func (pe *peUnit) execute(c uint64, id isa.InstID, tag isa.Tag, vals [3]uint64, 
 		pe.deliverAt(done, execResult{inst: id, tag: out, value: vals[0]}, in.Dests)
 		return
 	case isa.OpLoad:
-		pe.queueMem(done, id, tag, &storebuf.Request{
-			Kind: storebuf.ReqLoad, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0],
-		})
+		req := p.newReq()
+		*req = storebuf.Request{Kind: storebuf.ReqLoad, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0]}
+		pe.queueMem(done, id, tag, req)
 		return
 	case isa.OpMemNop:
-		pe.queueMem(done, id, tag, &storebuf.Request{
-			Kind: storebuf.ReqNop, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0],
-		})
+		req := p.newReq()
+		*req = storebuf.Request{Kind: storebuf.ReqNop, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0]}
+		pe.queueMem(done, id, tag, req)
 		return
 	case isa.OpStore:
+		req := p.newReq()
 		switch {
 		case kind == schedStoreAddr:
-			pe.queueMem(done, id, tag, &storebuf.Request{
-				Kind: storebuf.ReqStoreAddr, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0],
-			})
+			*req = storebuf.Request{Kind: storebuf.ReqStoreAddr, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0]}
 		case addrSent:
-			pe.queueMem(done, id, tag, &storebuf.Request{
-				Kind: storebuf.ReqStoreData, Inst: id, Tag: tag, Mem: *in.Mem, Data: vals[1],
-			})
+			*req = storebuf.Request{Kind: storebuf.ReqStoreData, Inst: id, Tag: tag, Mem: *in.Mem, Data: vals[1]}
 		default:
-			pe.queueMem(done, id, tag, &storebuf.Request{
-				Kind: storebuf.ReqStoreFull, Inst: id, Tag: tag, Mem: *in.Mem,
-				Addr: vals[0], Data: vals[1],
-			})
+			*req = storebuf.Request{Kind: storebuf.ReqStoreFull, Inst: id, Tag: tag, Mem: *in.Mem,
+				Addr: vals[0], Data: vals[1]}
 		}
+		pe.queueMem(done, id, tag, req)
 		return
 	}
 	v := isa.Eval(in.Op, in.Imm, vals[0], vals[1], vals[2])
@@ -403,11 +430,13 @@ func (pe *peUnit) deliverAt(done uint64, r execResult, dests []isa.Target) {
 	r.doneAt = done
 	r.dests = dests
 	pe.pending.push(r)
+	pe.wakeComplete()
 }
 
 // queueMem queues a memory request for completion-time routing.
 func (pe *peUnit) queueMem(done uint64, id isa.InstID, tag isa.Tag, req *storebuf.Request) {
 	pe.pending.push(execResult{doneAt: done, inst: id, tag: tag, memReq: req})
+	pe.wakeComplete()
 }
 
 // phaseOutput pops at most one output-queue entry and puts it on the
@@ -432,6 +461,7 @@ func (pe *peUnit) phaseOutput(c uint64) {
 				pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, home)
 		}
 		d.memQ.push(memQEntry{readyAt: c + 1, req: e.memReq})
+		pe.p.actDomain.arm(d.gidx)
 		return
 	}
 	for _, t := range e.dests {
@@ -456,7 +486,9 @@ func (pe *peUnit) phaseOutput(c uint64) {
 				pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, dst.Cluster)
 		}
 		d.netOutQ.push(netMsg{readyAt: c + 1, sentAt: e.sentAt, tok: tok, dst: dst})
+		pe.p.actDomain.arm(d.gidx)
 	}
+	pe.p.putTargets(e.dests)
 }
 
 // phaseInput accepts up to MatchBanks tokens per cycle from the input
@@ -523,6 +555,7 @@ func (pe *peUnit) phaseInput(c uint64) {
 				readyAt: ready, inst: e.Inst, tag: e.Tag, vals: e.Vals,
 				addrSent: e.AddrSent,
 			})
+			pe.wakeDispatch()
 		case match.Stored:
 			pe.maybeStoreAddrHalf(c, tok, e)
 		}

@@ -68,6 +68,29 @@ type Processor struct {
 	pending map[uint64]pendingMemOp
 	reqSeq  uint64
 
+	// Active-set scheduler state (Config.Sched): one work list per PE
+	// pipeline phase plus one each for the domain pseudo-PEs and the
+	// store buffers. Queue-push sites arm these unconditionally in both
+	// modes (arming is idempotent and branch-cheap); only activeTick
+	// drains them, visiting members in ascending index order — the
+	// full-scan loop's visit order — so results are identical.
+	actComplete *activeSet
+	actDispatch *activeSet
+	actOutput   *activeSet
+	actInput    *activeSet
+	actDomain   *activeSet
+	actSB       *activeSet
+
+	// Free lists for the token path's transient objects (single-threaded;
+	// a Processor ticks on one goroutine). They hold steady-state
+	// allocations at ~zero: messages and payloads recycle at the NoC sink,
+	// store-buffer requests after the buffer copies them in, destination
+	// slices when the output queue drains.
+	msgFree []*noc.Message
+	payFree []*operandPayload
+	reqFree []*storebuf.Request
+	tgtFree [][]isa.Target
+
 	// Fault machinery (all nil/empty on the faultless fast path).
 	inj       *fault.Injector
 	anyDead   bool          // at least one PE has been killed
@@ -146,6 +169,18 @@ func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) 
 			}
 		}
 	}
+	for i, pe := range p.pes {
+		pe.gidx = int32(i)
+	}
+	for i, d := range p.domains {
+		d.gidx = int32(i)
+	}
+	p.actComplete = newActiveSet(len(p.pes))
+	p.actDispatch = newActiveSet(len(p.pes))
+	p.actOutput = newActiveSet(len(p.pes))
+	p.actInput = newActiveSet(len(p.pes))
+	p.actDomain = newActiveSet(len(p.domains))
+	p.actSB = newActiveSet(arch.Clusters)
 	for ci := 0; ci < arch.Clusters; ci++ {
 		ci := ci
 		var extraDelay func(seq uint64) uint64
@@ -243,14 +278,76 @@ func (p *Processor) threadHalted(c uint64, thread uint32, value uint64) {
 // instruction (available after Run).
 func (p *Processor) HaltValue(thread uint32) uint64 { return p.haltValues[thread] }
 
-// nocSink receives grid deliveries.
+// newMsg returns a grid message from the free list (or a fresh one).
+// Callers must overwrite it wholesale (*m = noc.Message{...}).
+func (p *Processor) newMsg() *noc.Message {
+	if n := len(p.msgFree) - 1; n >= 0 {
+		m := p.msgFree[n]
+		p.msgFree = p.msgFree[:n]
+		return m
+	}
+	return new(noc.Message)
+}
+
+// newPayload returns an operand payload from the free list.
+func (p *Processor) newPayload() *operandPayload {
+	if n := len(p.payFree) - 1; n >= 0 {
+		pl := p.payFree[n]
+		p.payFree = p.payFree[:n]
+		return pl
+	}
+	return new(operandPayload)
+}
+
+// newReq returns a store-buffer request from the free list.
+func (p *Processor) newReq() *storebuf.Request {
+	if n := len(p.reqFree) - 1; n >= 0 {
+		r := p.reqFree[n]
+		p.reqFree = p.reqFree[:n]
+		return r
+	}
+	return new(storebuf.Request)
+}
+
+// freeReq recycles a request the store buffer has copied in.
+func (p *Processor) freeReq(r *storebuf.Request) {
+	p.reqFree = append(p.reqFree, r)
+}
+
+// getTargets returns an empty destination slice with whatever capacity a
+// previous output-queue entry left behind.
+func (p *Processor) getTargets() []isa.Target {
+	if n := len(p.tgtFree) - 1; n >= 0 {
+		s := p.tgtFree[n]
+		p.tgtFree = p.tgtFree[:n]
+		return s
+	}
+	return nil
+}
+
+// putTargets recycles a drained output entry's destination slice.
+func (p *Processor) putTargets(s []isa.Target) {
+	if cap(s) > 0 {
+		p.tgtFree = append(p.tgtFree, s[:0])
+	}
+}
+
+// nocSink receives grid deliveries. Operand and store-buffer messages are
+// the simulator's own (built from the free lists) and are recycled here;
+// everything else is cache/coherence traffic owned by the cache system.
 func (p *Processor) nocSink(cycle uint64, port noc.OutPort, m *noc.Message) {
 	switch pl := m.Payload.(type) {
-	case operandPayload:
+	case *operandPayload:
 		d := p.domain(m.Dst, pl.dst.Domain)
 		d.netInQ.push(netMsg{readyAt: cycle + 2, sentAt: pl.sentAt, tok: pl.tok, dst: pl.dst})
+		p.actDomain.arm(d.gidx)
+		p.payFree = append(p.payFree, pl)
+		p.msgFree = append(p.msgFree, m)
 	case *storebuf.Request:
 		p.sbs[m.Dst].Enqueue(cycle+1, *pl)
+		p.actSB.arm(int32(m.Dst))
+		p.freeReq(pl)
+		p.msgFree = append(p.msgFree, m)
 	default:
 		p.cacheSys.Deliver(cycle, m.Dst, m)
 	}
@@ -347,17 +444,20 @@ func (p *Processor) respondMem(cycle uint64, cluster int, inst isa.InstID, tag i
 			if p.rec != nil {
 				p.rec.Message(cycle, trace.LevelCluster, trace.ClassMemory, cluster, trace.NoDomain, 0, dst.Cluster)
 			}
-			p.domain(cluster, dst.Domain).netInQ.push(netMsg{readyAt: cycle + 2, tok: tok, dst: dst})
+			dom := p.domain(cluster, dst.Domain)
+			dom.netInQ.push(netMsg{readyAt: cycle + 2, tok: tok, dst: dst})
+			p.actDomain.arm(dom.gidx)
 			continue
 		}
 		p.stats.Traffic[LevelGrid][ClassMemory]++
 		if p.rec != nil {
 			p.rec.Message(cycle, trace.LevelGrid, trace.ClassMemory, cluster, trace.NoDomain, 0, dst.Cluster)
 		}
-		p.outbox.push(&noc.Message{
-			Src: cluster, Dst: dst.Cluster, VC: noc.VCMemory,
-			Payload: operandPayload{tok: tok, dst: dst},
-		})
+		pl := p.newPayload()
+		*pl = operandPayload{tok: tok, dst: dst}
+		m := p.newMsg()
+		*m = noc.Message{Src: cluster, Dst: dst.Cluster, VC: noc.VCMemory, Payload: pl}
+		p.outbox.push(m)
 	}
 }
 
@@ -475,8 +575,20 @@ func (p *Processor) inject() {
 	p.progress = 0
 }
 
-// tick advances the whole machine one cycle.
+// tick advances the whole machine one cycle under the configured
+// scheduling strategy.
 func (p *Processor) tick(c uint64) {
+	if p.cfg.Sched == SchedFullScan {
+		p.scanTick(c)
+		return
+	}
+	p.activeTick(c)
+}
+
+// scanTick is the reference scheduler: every component is visited every
+// cycle in index order. It is the oracle activeTick is verified against
+// (byte-identical Stats on the full workload suite).
+func (p *Processor) scanTick(c uint64) {
 	p.cycle = c
 	if p.inj != nil {
 		p.applyFaults(c)
@@ -517,6 +629,91 @@ func (p *Processor) tick(c uint64) {
 	for _, pe := range p.pes {
 		if !pe.inQ.empty() || len(pe.reinject) > 0 {
 			pe.phaseInput(c)
+		}
+	}
+}
+
+// activeTick advances one cycle visiting only armed components, in the
+// same phase order and the same ascending index order as scanTick.
+// Each drain is a snapshot: work discovered during a phase arms into the
+// phase's next drain (next cycle) or into a later phase's drain this
+// cycle — exactly when the full scan would have visited it, because the
+// scan's guards are evaluated lazily and cross-component pushes always
+// target either a later phase or carry a future ready cycle. A component
+// whose queue survives its phase (future readyAt, backpressure, stalls)
+// re-arms itself so it is never forgotten.
+func (p *Processor) activeTick(c uint64) {
+	p.cycle = c
+	if p.inj != nil {
+		p.applyFaults(c)
+	}
+	if p.rec != nil {
+		// Work-list occupancy before the drains mutate it: PE visits sum
+		// the four phase sets (one PE can appear in several).
+		p.rec.SchedOccupancy(c,
+			p.actComplete.work.len()+p.actDispatch.work.len()+
+				p.actOutput.work.len()+p.actInput.work.len(),
+			p.actDomain.work.len(), p.actSB.work.len())
+	}
+	p.grid.Tick(c)
+	p.cacheSys.Tick(c)
+	for _, i := range p.actSB.drain() {
+		sb := p.sbs[i]
+		sb.Tick(c)
+		if !sb.Quiet() {
+			p.actSB.arm(i)
+		}
+	}
+	// Retry queued grid injections.
+	for !p.outbox.empty() {
+		if !p.grid.Send(c, *p.outbox.peek(0)) {
+			break
+		}
+		p.outbox.popFront()
+	}
+	for _, i := range p.actDomain.drain() {
+		d := p.domains[i]
+		if d.busy() {
+			d.tick(c)
+			if d.busy() {
+				p.actDomain.arm(i)
+			}
+		}
+	}
+	for _, i := range p.actComplete.drain() {
+		pe := p.pes[i]
+		if !pe.pending.empty() {
+			pe.phaseComplete(c)
+			if !pe.pending.empty() {
+				p.actComplete.arm(i)
+			}
+		}
+	}
+	for _, i := range p.actDispatch.drain() {
+		pe := p.pes[i]
+		if !pe.schedQ.empty() {
+			pe.phaseDispatch(c)
+			if !pe.schedQ.empty() {
+				p.actDispatch.arm(i)
+			}
+		}
+	}
+	for _, i := range p.actOutput.drain() {
+		pe := p.pes[i]
+		if !pe.outQ.empty() {
+			pe.phaseOutput(c)
+			if !pe.outQ.empty() {
+				p.actOutput.arm(i)
+			}
+		}
+	}
+	for _, i := range p.actInput.drain() {
+		pe := p.pes[i]
+		if !pe.inQ.empty() || len(pe.reinject) > 0 {
+			pe.phaseInput(c)
+			if !pe.inQ.empty() || len(pe.reinject) > 0 {
+				p.actInput.arm(i)
+			}
 		}
 	}
 }

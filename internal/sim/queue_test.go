@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestRingWrapAround pushes and pops across the buffer boundary many
+// times: the head chases the tail around the ring, so every slot is
+// exercised in both roles.
+func TestRingWrapAround(t *testing.T) {
+	var r ring
+	next := int32(0) // next value to push
+	want := int32(0) // next value expected out
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 7; i++ {
+			r.push(next)
+			next++
+		}
+		for i := 0; i < 7; i++ {
+			if got := r.popFront(); got != want {
+				t.Fatalf("round %d: popFront = %d, want %d", round, got, want)
+			}
+			want++
+		}
+		if r.len() != 0 {
+			t.Fatalf("round %d: len = %d after draining", round, r.len())
+		}
+	}
+	if len(r.buf) > 16 {
+		t.Errorf("ring grew to %d slots though it never held more than 7", len(r.buf))
+	}
+}
+
+// TestRingGrow fills the ring past each power-of-two capacity with the
+// head mid-buffer, so grow() must unwrap a split live region.
+func TestRingGrow(t *testing.T) {
+	var r ring
+	// Misalign the head before growing.
+	for i := int32(0); i < 10; i++ {
+		r.push(i)
+	}
+	for i := int32(0); i < 5; i++ {
+		if got := r.popFront(); got != i {
+			t.Fatalf("popFront = %d, want %d", got, i)
+		}
+	}
+	// Push far past the initial capacity.
+	for i := int32(10); i < 1000; i++ {
+		r.push(i)
+	}
+	if r.len() != 995 {
+		t.Fatalf("len = %d, want 995", r.len())
+	}
+	for i := int32(5); i < 1000; i++ {
+		if got := r.popFront(); got != i {
+			t.Fatalf("popFront = %d, want %d (FIFO order lost across grow)", got, i)
+		}
+	}
+}
+
+// TestRingPushWhileDraining interleaves pops with pushes, the pattern the
+// scheduler's drain loop produces when a component re-arms itself.
+func TestRingPushWhileDraining(t *testing.T) {
+	var r ring
+	for i := int32(0); i < 8; i++ {
+		r.push(i)
+	}
+	want := int32(0)
+	for r.len() > 0 {
+		got := r.popFront()
+		if got != want {
+			t.Fatalf("popFront = %d, want %d", got, want)
+		}
+		// Re-push every other element once, as a re-arm would.
+		if want < 8 && want%2 == 0 {
+			r.push(100 + want)
+		}
+		if want == 7 {
+			want = 100
+		} else if want >= 100 {
+			want += 2
+		} else {
+			want++
+		}
+	}
+	if want != 108 {
+		t.Fatalf("drained up to %d, want 108", want)
+	}
+}
+
+// TestActiveSetArmIdempotent checks double-arms collapse and the drain
+// returns sorted, deduplicated indices and fully clears the set.
+func TestActiveSetArmIdempotent(t *testing.T) {
+	s := newActiveSet(16)
+	for _, i := range []int32{9, 3, 9, 3, 12, 0, 0, 9} {
+		s.arm(i)
+	}
+	got := s.drain()
+	if want := []int32{0, 3, 9, 12}; !slices.Equal(got, want) {
+		t.Fatalf("drain = %v, want %v", got, want)
+	}
+	if got := s.drain(); len(got) != 0 {
+		t.Fatalf("second drain = %v, want empty", got)
+	}
+	// Arming during iteration of a drained snapshot lands in the next one.
+	s.arm(5)
+	if got := s.drain(); !slices.Equal(got, []int32{5}) {
+		t.Fatalf("re-arm drain = %v, want [5]", got)
+	}
+}
+
+// TestActiveSetDrainSnapshot arms components while consuming a drain's
+// result, mirroring a phase discovering new work: the snapshot must not
+// change underfoot and the new arms must appear in the next drain.
+func TestActiveSetDrainSnapshot(t *testing.T) {
+	s := newActiveSet(8)
+	s.arm(2)
+	s.arm(6)
+	snap := s.drain()
+	for _, i := range snap {
+		s.arm(i + 1) // discovered work on a neighbour
+	}
+	if !slices.Equal(snap, []int32{2, 6}) {
+		t.Fatalf("snapshot mutated to %v", snap)
+	}
+	if got := s.drain(); !slices.Equal(got, []int32{3, 7}) {
+		t.Fatalf("next drain = %v, want [3 7]", got)
+	}
+}
+
+// TestFifoRemove cross-checks remove (both the shift-prefix and
+// shift-suffix paths, compaction included) against a reference slice.
+func TestFifoRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q fifo[int]
+	var ref []int
+	next := 0
+	for step := 0; step < 20000; step++ {
+		if len(ref) == 0 || rng.Intn(3) != 0 {
+			q.push(next)
+			ref = append(ref, next)
+			next++
+			continue
+		}
+		i := rng.Intn(len(ref))
+		got := q.remove(i)
+		want := ref[i]
+		ref = append(ref[:i], ref[i+1:]...)
+		if got != want {
+			t.Fatalf("step %d: remove(%d) = %d, want %d", step, i, got, want)
+		}
+		if q.len() != len(ref) {
+			t.Fatalf("step %d: len = %d, want %d", step, q.len(), len(ref))
+		}
+	}
+	for i, want := range ref {
+		if got := *q.peek(i); got != want {
+			t.Fatalf("peek(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestFifoPushFront interleaves pushFront bursts (the reinjection
+// pattern) with pops and removes, checking order against a reference.
+func TestFifoPushFront(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var q fifo[int]
+	var ref []int
+	next := 0
+	for step := 0; step < 20000; step++ {
+		switch {
+		case len(ref) == 0 || rng.Intn(4) == 0:
+			q.push(next)
+			ref = append(ref, next)
+			next++
+		case rng.Intn(2) == 0:
+			q.pushFront(next)
+			ref = append([]int{next}, ref...)
+			next++
+		default:
+			got := q.popFront()
+			want := ref[0]
+			ref = ref[1:]
+			if got != want {
+				t.Fatalf("step %d: popFront = %d, want %d", step, got, want)
+			}
+		}
+		if q.len() != len(ref) {
+			t.Fatalf("step %d: len = %d, want %d", step, q.len(), len(ref))
+		}
+	}
+	for i, want := range ref {
+		if got := *q.peek(i); got != want {
+			t.Fatalf("peek(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestFifoPushFrontAfterDrain hits the head==0 slack-opening path on an
+// emptied-then-reused queue.
+func TestFifoPushFrontAfterDrain(t *testing.T) {
+	var q fifo[int]
+	for i := 0; i < 100; i++ {
+		q.push(i)
+	}
+	for !q.empty() {
+		q.popFront()
+	}
+	for i := 0; i < 50; i++ {
+		q.pushFront(i)
+	}
+	for i := 49; i >= 0; i-- {
+		if got := q.popFront(); got != i {
+			t.Fatalf("popFront = %d, want %d", got, i)
+		}
+	}
+}

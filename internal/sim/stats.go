@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 
@@ -99,6 +101,16 @@ type Stats struct {
 	// Format) for faultless runs, keeping their stats byte-identical to
 	// builds without a fault script.
 	Fault fault.Report
+}
+
+// Digest returns a hex SHA-256 over every field of the Stats struct (via
+// the canonical %+v rendering, which names each field). Two runs with the
+// same digest produced identical statistics; the golden-determinism CI
+// check and the scheduler-equivalence tests compare these.
+func (s *Stats) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%+v", *s)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // AIPC returns Alpha-equivalent instructions per cycle.

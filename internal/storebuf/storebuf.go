@@ -156,7 +156,17 @@ type Buffer struct {
 	grantQ    []uint32 // threads waiting for a context, FIFO
 	inUse     int
 	psqs      []psq
-	stats     Stats
+	// spillLive counts ops across every thread's spill map and psqLive
+	// counts valid partial store queues, so Quiet — polled every cycle by
+	// the active-set scheduler — is O(1) instead of a walk over all
+	// threads and PSQs.
+	spillLive int
+	psqLive   int
+	// opFree recycles op-slice backing arrays: a completed wave's emptied
+	// pending slice returns here and the next spilled wave reuses its
+	// capacity, so steady-state wave turnover allocates nothing.
+	opFree [][]op
+	stats  Stats
 }
 
 // New creates a store buffer that releases ordered operations through fn.
@@ -180,21 +190,10 @@ func (b *Buffer) ActiveContexts() int { return b.inUse }
 
 // Quiet reports whether the buffer holds no work: no active or spilled
 // waves, no pending grants, and no partial store queues awaiting data.
+// An active context implies inUse > 0 and every spilled op is counted in
+// spillLive, so four counter checks cover the old full walk.
 func (b *Buffer) Quiet() bool {
-	if b.inUse > 0 || len(b.grantQ) > 0 {
-		return false
-	}
-	for i := range b.psqs {
-		if b.psqs[i].valid {
-			return false
-		}
-	}
-	for _, ts := range b.threads {
-		if ts.active != nil || len(ts.spill) > 0 {
-			return false
-		}
-	}
-	return true
+	return b.inUse == 0 && len(b.grantQ) == 0 && b.spillLive == 0 && b.psqLive == 0
 }
 
 func (b *Buffer) thread(id uint32) *threadState {
@@ -243,7 +242,15 @@ func (b *Buffer) Enqueue(cycle uint64, r Request) {
 	if r.Tag.Wave < ts.nextWave {
 		panic(fmt.Sprintf("storebuf: op for completed wave %d (next %d)", r.Tag.Wave, ts.nextWave))
 	}
-	ts.spill[r.Tag.Wave] = append(ts.spill[r.Tag.Wave], o)
+	sp, ok := ts.spill[r.Tag.Wave]
+	if !ok {
+		if n := len(b.opFree); n > 0 {
+			sp = b.opFree[n-1][:0]
+			b.opFree = b.opFree[:n-1]
+		}
+	}
+	ts.spill[r.Tag.Wave] = append(sp, o)
+	b.spillLive++
 	if r.Tag.Wave == ts.nextWave && ts.active == nil && !ts.waiting {
 		ts.waiting = true
 		b.grantQ = append(b.grantQ, r.Tag.Thread)
@@ -303,6 +310,7 @@ func (b *Buffer) takeEarlyData(ts *threadState, r Request) (uint64, bool) {
 	d, ok := take(&sp)
 	if ok {
 		ts.spill[r.Tag.Wave] = sp
+		b.spillLive--
 	}
 	return d, ok
 }
@@ -321,6 +329,7 @@ func (b *Buffer) Tick(cycle uint64) {
 		}
 		ctx := &waveCtx{thread: tid, wave: ts.nextWave, ripple: waveorder.NewWave()}
 		ctx.pending = ts.spill[ts.nextWave]
+		b.spillLive -= len(ctx.pending)
 		delete(ts.spill, ts.nextWave)
 		ts.active = ctx
 		b.inUse++
@@ -373,6 +382,9 @@ func (b *Buffer) ripple(cycle uint64, tid uint32, ts *threadState) {
 				tid, ctx.wave, len(ctx.pending)))
 		}
 		ts.active = nil
+		if cap(ctx.pending) > 0 {
+			b.opFree = append(b.opFree, ctx.pending[:0])
+		}
 		b.inUse--
 		b.stats.WavesDone++
 		if b.cfg.Trace != nil {
@@ -411,6 +423,7 @@ func (b *Buffer) issueOp(cycle uint64, o op) bool {
 			q := &b.psqs[i]
 			if !q.valid {
 				*q = psq{valid: true, addr: r.Addr, inst: r.Inst, tag: r.Tag}
+				b.psqLive++
 				b.stats.PSQAllocs++
 				return true
 			}
@@ -448,6 +461,7 @@ func (b *Buffer) drainPSQ(cycle uint64, q *psq) {
 		b.emit(cycle, is)
 	}
 	*q = psq{}
+	b.psqLive--
 }
 
 func (b *Buffer) emit(cycle uint64, is Issued) {

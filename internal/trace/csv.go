@@ -13,6 +13,7 @@ var CounterCSVHeader = []string{
 	"mem_msgs", "match_inserts", "match_evicts",
 	"l1_misses", "l2_misses", "fills",
 	"sb_issues", "sb_commits",
+	"sched_pes", "sched_domains", "sched_sbs",
 }
 
 // WriteCounterCSV writes the per-interval counter time series: one row per
@@ -54,7 +55,10 @@ func (r *Recorder) WriteCounterCSV(w io.Writer) error {
 		field(iv.L2Misses, false)
 		field(iv.Fills, false)
 		field(iv.SBIssues, false)
-		field(iv.SBCommits, true)
+		field(iv.SBCommits, false)
+		field(iv.SchedPEs, false)
+		field(iv.SchedDomains, false)
+		field(iv.SchedSBs, true)
 	}
 	return bw.Flush()
 }

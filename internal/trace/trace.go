@@ -172,6 +172,13 @@ type Interval struct {
 	Fills        uint64
 	SBIssues     uint64
 	SBCommits    uint64
+	// Active-set scheduler occupancy: component visits summed over the
+	// bucket (PE phase visits, domain-bus ticks, store-buffer ticks).
+	// Dividing by the bucket width gives the mean work-list size — how
+	// sparse the machine actually is. Zero under the full-scan scheduler.
+	SchedPEs     uint64
+	SchedDomains uint64
+	SchedSBs     uint64
 }
 
 // Options sizes a recorder.
@@ -443,6 +450,20 @@ func (r *Recorder) SBIssue(cycle uint64, cluster, kind int, addr uint64) {
 		Cluster: uint16(cluster), Domain: NoDomain,
 	})
 	r.bucket(cycle).SBIssues++
+}
+
+// SchedOccupancy records one active-set scheduler cycle's work-list
+// sizes: how many PE phase slots, domain buses, and store buffers were
+// visited. Counter-only (no ring event — this fires every cycle and
+// would crowd out everything else).
+func (r *Recorder) SchedOccupancy(cycle uint64, pes, domains, sbs int) {
+	if r == nil {
+		return
+	}
+	b := r.bucket(cycle)
+	b.SchedPEs += uint64(pes)
+	b.SchedDomains += uint64(domains)
+	b.SchedSBs += uint64(sbs)
 }
 
 // SBCommit records a wave completing (all its memory ops issued) at a

@@ -67,6 +67,20 @@ type (
 	// TrafficLevel and TrafficClass index Stats.Traffic (Figure 8).
 	TrafficLevel = sim.TrafficLevel
 	TrafficClass = sim.TrafficClass
+	// SchedMode selects the simulator's per-cycle scheduling strategy
+	// (Config.Sched). Results are identical in every mode; only host
+	// throughput differs.
+	SchedMode = sim.SchedMode
+)
+
+// Scheduling strategies for Config.Sched.
+const (
+	// SchedActiveSet (default) ticks only components with work: a cycle
+	// costs O(in-flight work) instead of O(machine size).
+	SchedActiveSet = sim.SchedActiveSet
+	// SchedFullScan is the legacy reference scheduler, kept as the oracle
+	// the active-set scheduler is verified against.
+	SchedFullScan = sim.SchedFullScan
 )
 
 // Run-failure sentinels, matchable with errors.Is on the error a Run
