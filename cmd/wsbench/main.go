@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	wsbench                                  # full matrix -> BENCH_<rev>.json
+//	wsbench                                  # full matrix -> <repo root>/BENCH_<rev>.json
 //	wsbench -suite splash2 -scale small      # subset of the matrix
 //	wsbench -compare bench/baseline.json     # run + regression gate (CI)
 //	wsbench -out bench/baseline.json         # refresh the baseline
@@ -41,6 +41,7 @@ import (
 	"math"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -155,7 +156,10 @@ func main() {
 
 	path := *out
 	if path == "" {
-		path = fmt.Sprintf("BENCH_%s.json", rep.Revision)
+		// Default reports always land in the repo root, not the cwd, so
+		// CI (and humans running from a subdirectory) find BENCH_<rev>.json
+		// in one predictable place to upload or diff.
+		path = filepath.Join(repoRoot(), fmt.Sprintf("BENCH_%s.json", rep.Revision))
 	}
 	if err := writeReport(path, rep); err != nil {
 		fail(err)
@@ -395,6 +399,15 @@ func revision() string {
 	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
 	if err != nil {
 		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// repoRoot returns the git worktree root, or "." outside a checkout.
+func repoRoot() string {
+	out, err := exec.Command("git", "rev-parse", "--show-toplevel").Output()
+	if err != nil {
+		return "."
 	}
 	return strings.TrimSpace(string(out))
 }

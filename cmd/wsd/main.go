@@ -10,6 +10,16 @@
 //	wsd -journal wsd.jsonl -resume           # warm restart from journal
 //	wsd -cache-limit 10000                   # bound cache memory (LRU)
 //
+// Distributed sweep fabric (one coordinator, N workers):
+//
+//	wsd -role coordinator -addr :8080
+//	wsd -role worker -addr :8081 -coordinator http://coord:8080 \
+//	    -advertise http://worker1:8081
+//
+// The coordinator shards sweep cells across registered workers via a
+// consistent hash ring on the content-addressed cell key and falls back
+// to local simulation when the fabric degrades.
+//
 // Endpoints:
 //
 //	POST /v1/runs        synchronous single simulation (cached, deduped)
@@ -18,7 +28,12 @@
 //	DELETE /v1/jobs/{id} cancel a job
 //	GET  /v1/designs     enumerate viable design points
 //	GET  /v1/workloads   enumerate bundled workloads
-//	GET  /healthz        liveness + queue/cache stats
+//	POST /v1/cluster/execute     simulate one cell (fabric dispatch)
+//	POST /v1/cluster/register    worker registration (coordinator only)
+//	POST /v1/cluster/heartbeat   worker lease renewal (coordinator only)
+//	POST /v1/cluster/deregister  worker graceful drain (coordinator only)
+//	GET  /v1/cluster/workers     fabric membership (coordinator only)
+//	GET  /healthz        liveness + role + queue/cache stats
 //	GET  /metrics        Prometheus text exposition
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: admissions stop (new
@@ -51,6 +66,13 @@ func main() {
 	cacheLimit := flag.Int("cache-limit", 0, "max cached cells, LRU-evicted (0 = unlimited)")
 	par := flag.Int("parallel", 0, "concurrent simulations per sweep job (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain deadline for in-flight simulations")
+	roleName := flag.String("role", "single", "fabric role: single, coordinator, or worker")
+	coordinator := flag.String("coordinator", "", "coordinator base URL (worker role), e.g. http://coord:8080")
+	advertise := flag.String("advertise", "", "base URL the coordinator dispatches to (worker role; default http://<listen addr>)")
+	workerID := flag.String("worker-id", "", "stable worker identity (worker role; default hostname:port)")
+	lease := flag.Duration("lease", 15*time.Second, "worker lease; a worker missing heartbeats this long is dropped (coordinator role)")
+	tenantQuota := flag.Int("tenant-quota", 0, "max queued-or-running jobs per tenant (X-Tenant header); 0 disables")
+	retryAfter := flag.Duration("retry-after", 2*time.Second, "base Retry-After hint on 429 responses (served jittered ±20%)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -61,10 +83,25 @@ func main() {
 	if *resume && *journalPath == "" {
 		fail(fmt.Errorf("-resume requires -journal"))
 	}
+	role, err := wavescalar.ParseRole(*roleName)
+	if err != nil {
+		fail(err)
+	}
+	if role == wavescalar.RoleWorker && *coordinator == "" {
+		fail(fmt.Errorf("-role worker requires -coordinator"))
+	}
 
 	opts := []wavescalar.ServerOption{
 		wavescalar.ServerQueueDepth(*queue),
 		wavescalar.ServerRequestTimeout(*timeout),
+		wavescalar.ServerRole(role),
+		wavescalar.ServerRetryAfter(*retryAfter),
+	}
+	if role == wavescalar.RoleCoordinator {
+		opts = append(opts, wavescalar.ServerCluster(wavescalar.ClusterOptions{Lease: *lease}))
+	}
+	if *tenantQuota > 0 {
+		opts = append(opts, wavescalar.ServerTenantQuota(*tenantQuota))
 	}
 	if *workers > 0 {
 		opts = append(opts, wavescalar.ServerWorkers(*workers))
@@ -93,6 +130,43 @@ func main() {
 	// Printed on stdout so scripts (and the smoke test) can parse the
 	// actual port when -addr ends in :0.
 	fmt.Printf("wsd: listening on http://%s\n", ln.Addr())
+	if role != wavescalar.RoleSingle {
+		fmt.Fprintf(os.Stderr, "wsd: fabric role %s\n", role)
+	}
+
+	// Worker role: keep this daemon registered on the coordinator's ring.
+	stopAgent := func() {}
+	if role == wavescalar.RoleWorker {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "worker"
+			}
+			_, port, _ := net.SplitHostPort(ln.Addr().String())
+			id = host + ":" + port
+		}
+		agent := &wavescalar.ClusterAgent{
+			Coordinator: *coordinator, ID: id, Addr: adv,
+			Busy: srv.Busy,
+		}
+		agentCtx, agentCancel := context.WithCancel(context.Background())
+		agentDone := make(chan struct{})
+		go func() {
+			defer close(agentDone)
+			if err := agent.Run(agentCtx); err != nil && agentCtx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "wsd: cluster agent:", err)
+			}
+		}()
+		stopAgent = func() {
+			agentCancel()
+			<-agentDone // deregistered (or lease left to expire)
+		}
+	}
 
 	httpSrv := &http.Server{Handler: srv}
 	shutdownDone := make(chan error, 1)
@@ -101,8 +175,10 @@ func main() {
 	go func() {
 		sig := <-sigs
 		fmt.Fprintf(os.Stderr, "wsd: %s: draining (deadline %s)\n", sig, *drain)
-		// Drain the simulation pipeline first, while the HTTP server still
+		// Deregister from the coordinator first so no new cells arrive,
+		// then drain the simulation pipeline while the HTTP server still
 		// delivers results to waiting clients; then close the listener.
+		stopAgent()
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		err := srv.Shutdown(drainCtx)

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"wavescalar/internal/version"
+)
+
+// Agent is the worker side of the fabric's membership protocol: it
+// registers with the coordinator, heartbeats at a third of the granted
+// lease, re-registers whenever the coordinator stops recognizing it
+// (coordinator restart, expired lease), and deregisters on shutdown so
+// a graceful drain never waits out a lease. It does not execute cells —
+// the worker's HTTP server does that; the Agent only keeps the worker
+// visible on the ring.
+type Agent struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://coord:8080".
+	Coordinator string
+	// ID is this worker's stable identity; Addr is the base URL the
+	// coordinator should dispatch to.
+	ID, Addr string
+	// Busy, when non-nil, samples the worker's in-flight simulation
+	// count for heartbeats.
+	Busy func() int
+	// Logf receives membership diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+	// Client is the HTTP client used (default http.DefaultClient with a
+	// 10s timeout).
+	Client *http.Client
+}
+
+// Run registers and heartbeats until ctx is cancelled, then deregisters
+// (best-effort, on a fresh short-lived context). Registration failures
+// are retried with backoff forever — a worker that outlives a
+// coordinator restart rejoins on its own.
+func (a *Agent) Run(ctx context.Context) error {
+	if a.Coordinator == "" || a.ID == "" || a.Addr == "" {
+		return fmt.Errorf("cluster: agent needs Coordinator, ID and Addr")
+	}
+	logf := a.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	client := a.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+
+	lease, err := a.registerLoop(ctx, client, logf)
+	if err != nil {
+		return err
+	}
+	interval := lease / 3
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			a.deregister(client, logf)
+			return nil
+		case <-tick.C:
+			busy := 0
+			if a.Busy != nil {
+				busy = a.Busy()
+			}
+			ok, err := a.heartbeat(ctx, client, busy)
+			if err != nil {
+				if ctx.Err() != nil {
+					a.deregister(client, logf)
+					return nil
+				}
+				logf("cluster: heartbeat to %s failed: %v", a.Coordinator, err)
+				continue
+			}
+			if !ok {
+				// Coordinator forgot us (restart or expiry): rejoin.
+				logf("cluster: lease lost, re-registering %s with %s", a.ID, a.Coordinator)
+				if lease, err = a.registerLoop(ctx, client, logf); err != nil {
+					return err
+				}
+				if ni := lease / 3; ni > 0 && ni != interval {
+					interval = ni
+					tick.Reset(interval)
+				}
+			}
+		}
+	}
+}
+
+// registerLoop registers with backoff until success or ctx cancellation,
+// returning the granted lease.
+func (a *Agent) registerLoop(ctx context.Context, client *http.Client, logf func(string, ...any)) (time.Duration, error) {
+	backoff := time.Second
+	for {
+		lease, err := a.register(ctx, client)
+		if err == nil {
+			logf("cluster: registered %s (%s) with %s, lease %s", a.ID, a.Addr, a.Coordinator, lease)
+			return lease, nil
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		logf("cluster: register with %s failed (retrying in %s): %v", a.Coordinator, backoff, err)
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 30*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+func (a *Agent) register(ctx context.Context, client *http.Client) (time.Duration, error) {
+	var resp RegisterResponse
+	err := a.post(ctx, client, "/v1/cluster/register",
+		RegisterRequest{ID: a.ID, Addr: a.Addr, Version: version.Get("wsd")}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(resp.LeaseS * float64(time.Second)), nil
+}
+
+func (a *Agent) heartbeat(ctx context.Context, client *http.Client, busy int) (bool, error) {
+	var resp HeartbeatResponse
+	err := a.post(ctx, client, "/v1/cluster/heartbeat", HeartbeatRequest{ID: a.ID, Busy: busy}, &resp)
+	if isStatus(err, http.StatusNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// deregister announces a graceful drain; failures only mean the lease
+// expires on its own.
+func (a *Agent) deregister(client *http.Client, logf func(string, ...any)) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := a.post(ctx, client, "/v1/cluster/deregister", DeregisterRequest{ID: a.ID}, nil); err != nil {
+		logf("cluster: deregister from %s failed (lease will expire): %v", a.Coordinator, err)
+		return
+	}
+	logf("cluster: deregistered %s from %s", a.ID, a.Coordinator)
+}
+
+// statusError carries a non-2xx response through the error path.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("status %d: %s", e.code, e.body) }
+
+func isStatus(err error, code int) bool {
+	se, ok := err.(*statusError)
+	return ok && se.code == code
+}
+
+func (a *Agent) post(ctx context.Context, client *http.Client, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.Coordinator+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

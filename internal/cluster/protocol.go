@@ -1,0 +1,116 @@
+// Package cluster is the distributed sweep fabric: the pieces that turn
+// one wsd daemon into many sharing a single content-addressed result
+// space. A coordinator accepts sweeps through the ordinary /v1/sweeps
+// API, shards their cells across registered workers with a consistent
+// hash ring on explore.CellKey, and streams completed cells back into
+// its own cache and journal — so any node (and any warm restart) can
+// answer any cached cell.
+//
+// The design leans on two properties the rest of the repo already
+// guarantees:
+//
+//   - Simulations are deterministic and cells are content-addressed: the
+//     same key always denotes the same result bytes, so retries,
+//     duplicate dispatches, and cache merges are all idempotent —
+//     at-most-once *commit* falls out of the addressing scheme rather
+//     than from distributed coordination.
+//   - The journal is an append-only JSONL log with idempotent replay, so
+//     "one shared result space" is just every node's cells flowing
+//     through the coordinator's journal.
+//
+// Robustness model:
+//
+//   - Workers register and then heartbeat; a worker that misses its
+//     lease is expired, removed from the ring, and its in-flight cells
+//     fail over (consistent hashing keeps the remap to its arc only).
+//   - Cell dispatch retries across distinct ring successors with
+//     exponential backoff, bounded attempts, and a per-attempt timeout
+//     that also fails over *slow* workers, not just dead ones.
+//   - When every attempt fails (or no workers are registered), the
+//     coordinator's exploration engine simulates the cell locally: a
+//     degraded fabric loses speed, never results.
+package cluster
+
+import (
+	"wavescalar/internal/explore"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/version"
+	"wavescalar/internal/workload"
+)
+
+// RegisterRequest is the body of POST /v1/cluster/register: a worker
+// announcing itself (or re-announcing after a coordinator restart —
+// registration is idempotent on ID).
+type RegisterRequest struct {
+	// ID is the worker's stable identity; re-registering an ID replaces
+	// its address and resets its lease.
+	ID string `json:"id"`
+	// Addr is the worker's reachable base URL, e.g. "http://worker1:8080".
+	Addr string `json:"addr"`
+	// Version is the worker's build identity, kept so mixed-version
+	// fabrics are diagnosable from GET /v1/cluster/workers.
+	Version version.Info `json:"version"`
+}
+
+// RegisterResponse acknowledges a registration with the coordinator's
+// lease terms and build identity.
+type RegisterResponse struct {
+	// LeaseS is how long the registration lives without a heartbeat.
+	LeaseS float64 `json:"lease_s"`
+	// Version is the coordinator's build identity.
+	Version version.Info `json:"version"`
+}
+
+// HeartbeatRequest is the body of POST /v1/cluster/heartbeat, renewing a
+// worker's lease.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+	// Busy is the worker's self-reported in-flight simulation count
+	// (informational; the coordinator tracks its own dispatch counts).
+	Busy int `json:"busy"`
+}
+
+// HeartbeatResponse acknowledges a lease renewal. A worker whose ID is
+// unknown (coordinator restarted, or lease already expired) gets a 404
+// instead and must re-register.
+type HeartbeatResponse struct {
+	OK      bool         `json:"ok"`
+	Version version.Info `json:"version"`
+}
+
+// DeregisterRequest is the body of POST /v1/cluster/deregister — the
+// graceful half of lease expiry, sent by a draining worker.
+type DeregisterRequest struct {
+	ID string `json:"id"`
+}
+
+// ExecRequest is the body of POST /v1/cluster/execute: one cell for a
+// worker to simulate. It carries both the content-addressed key and the
+// inputs it was derived from; the worker recomputes the key and refuses
+// a mismatch, so a mixed-version fabric whose key schema drifted fails
+// loudly instead of committing cells under the wrong address.
+type ExecRequest struct {
+	Key string `json:"key"`
+	// Config is the full resolved simulator configuration (Trace is
+	// always nil on the wire; the fault script travels by value).
+	Config       sim.Config     `json:"config"`
+	App          string         `json:"app"`
+	Scale        workload.Scale `json:"scale"`
+	ThreadCounts []int          `json:"thread_counts"`
+}
+
+// ExecResponse returns the completed cell (possibly from the worker's
+// own cache) plus the worker's build identity.
+type ExecResponse struct {
+	Cell    explore.Cell `json:"cell"`
+	Cached  bool         `json:"cached"`
+	Version version.Info `json:"version"`
+}
+
+// WorkersResponse is the body of GET /v1/cluster/workers.
+type WorkersResponse struct {
+	Role    string       `json:"role"`
+	LeaseS  float64      `json:"lease_s"`
+	Version version.Info `json:"version"`
+	Workers []WorkerInfo `json:"workers"`
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"wavescalar/internal/version"
+)
+
+// WorkerInfo is one registered worker's observable state, as reported by
+// GET /v1/cluster/workers and sampled by the coordinator's /metrics.
+type WorkerInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Version is the worker's build identity (mixed-version diagnosis).
+	Version version.Info `json:"version"`
+	// RegisteredAt / LastHeartbeat are Unix seconds.
+	RegisteredAt  int64 `json:"registered_at"`
+	LastHeartbeat int64 `json:"last_heartbeat"`
+	// Inflight counts cells the coordinator has dispatched to this
+	// worker and not yet seen return; Busy is the worker's own last
+	// heartbeat-reported simulation count.
+	Inflight int `json:"inflight"`
+	Busy     int `json:"busy"`
+	// Completed and Failed count dispatch outcomes attributed to this
+	// worker by the coordinator.
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+}
+
+// workerState is the registry's mutable record for one worker.
+type workerState struct {
+	info     WorkerInfo
+	lastBeat time.Time
+}
+
+// Registry tracks registered workers and their leases. It is the
+// coordinator's source of truth: the ring is derived from it (Register
+// and expiry keep the two in sync through the onChange hooks).
+type Registry struct {
+	mu          sync.Mutex
+	ttl         time.Duration
+	workers     map[string]*workerState
+	expirations uint64
+
+	// onJoin/onLeave fire (outside the lock) when membership changes, so
+	// the owner can mirror the ring.
+	onJoin, onLeave func(id string)
+}
+
+// NewRegistry returns an empty registry whose leases last ttl.
+func NewRegistry(ttl time.Duration, onJoin, onLeave func(id string)) *Registry {
+	if onJoin == nil {
+		onJoin = func(string) {}
+	}
+	if onLeave == nil {
+		onLeave = func(string) {}
+	}
+	return &Registry{ttl: ttl, workers: make(map[string]*workerState), onJoin: onJoin, onLeave: onLeave}
+}
+
+// TTL returns the lease duration.
+func (r *Registry) TTL() time.Duration { return r.ttl }
+
+// Register adds or refreshes a worker. Re-registering an existing ID
+// updates its address and version and renews its lease without
+// disturbing the ring (the ID's arc is unchanged).
+func (r *Registry) Register(req RegisterRequest) {
+	now := time.Now()
+	r.mu.Lock()
+	st, existed := r.workers[req.ID]
+	if !existed {
+		st = &workerState{info: WorkerInfo{ID: req.ID, RegisteredAt: now.Unix()}}
+		r.workers[req.ID] = st
+	}
+	st.info.Addr = req.Addr
+	st.info.Version = req.Version
+	st.info.LastHeartbeat = now.Unix()
+	st.lastBeat = now
+	r.mu.Unlock()
+	if !existed {
+		r.onJoin(req.ID)
+	}
+}
+
+// Heartbeat renews a worker's lease, returning false for unknown IDs
+// (the worker must re-register).
+func (r *Registry) Heartbeat(id string, busy int) bool {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.workers[id]
+	if !ok {
+		return false
+	}
+	st.lastBeat = now
+	st.info.LastHeartbeat = now.Unix()
+	st.info.Busy = busy
+	return true
+}
+
+// Deregister removes a worker immediately — the graceful-drain path,
+// versus waiting out the lease.
+func (r *Registry) Deregister(id string) bool {
+	r.mu.Lock()
+	_, ok := r.workers[id]
+	delete(r.workers, id)
+	r.mu.Unlock()
+	if ok {
+		r.onLeave(id)
+	}
+	return ok
+}
+
+// ExpireStale removes every worker whose lease lapsed before now,
+// returning their IDs. The coordinator calls it periodically; in-flight
+// cells on an expired worker fail over through the dispatcher's normal
+// retry path when their HTTP calls error out.
+func (r *Registry) ExpireStale(now time.Time) []string {
+	r.mu.Lock()
+	var expired []string
+	for id, st := range r.workers {
+		if now.Sub(st.lastBeat) > r.ttl {
+			expired = append(expired, id)
+			delete(r.workers, id)
+			r.expirations++
+		}
+	}
+	r.mu.Unlock()
+	for _, id := range expired {
+		r.onLeave(id)
+	}
+	return expired
+}
+
+// Expirations returns the lifetime count of lease expirations.
+func (r *Registry) Expirations() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.expirations
+}
+
+// Addr returns a worker's dispatch address, if it is still registered.
+func (r *Registry) Addr(id string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.workers[id]
+	if !ok {
+		return "", false
+	}
+	return st.info.Addr, true
+}
+
+// addInflight adjusts the coordinator-side in-flight count for id.
+func (r *Registry) addInflight(id string, delta int) {
+	r.mu.Lock()
+	if st, ok := r.workers[id]; ok {
+		st.info.Inflight += delta
+	}
+	r.mu.Unlock()
+}
+
+// recordResult attributes one dispatch outcome to id.
+func (r *Registry) recordResult(id string, failed bool) {
+	r.mu.Lock()
+	if st, ok := r.workers[id]; ok {
+		if failed {
+			st.info.Failed++
+		} else {
+			st.info.Completed++
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns every worker's state, sorted by ID for stable output.
+func (r *Registry) Snapshot() []WorkerInfo {
+	r.mu.Lock()
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for _, st := range r.workers {
+		out = append(out, st.info)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"wavescalar/internal/version"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	var joins, leaves []string
+	r := NewRegistry(100*time.Millisecond,
+		func(id string) { joins = append(joins, id) },
+		func(id string) { leaves = append(leaves, id) })
+
+	r.Register(RegisterRequest{ID: "w1", Addr: "http://a:1", Version: version.Get("wsd")})
+	r.Register(RegisterRequest{ID: "w2", Addr: "http://b:1"})
+	// Re-registration refreshes, does not re-join.
+	r.Register(RegisterRequest{ID: "w1", Addr: "http://a:2"})
+	if len(joins) != 2 {
+		t.Fatalf("joins = %v, want [w1 w2]", joins)
+	}
+	if addr, ok := r.Addr("w1"); !ok || addr != "http://a:2" {
+		t.Fatalf("Addr(w1) = %q, %v; want refreshed http://a:2", addr, ok)
+	}
+
+	if !r.Heartbeat("w1", 3) {
+		t.Fatal("heartbeat for registered worker failed")
+	}
+	if r.Heartbeat("ghost", 0) {
+		t.Fatal("heartbeat for unknown worker succeeded")
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "w1" || snap[1].ID != "w2" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Busy != 3 {
+		t.Errorf("w1 busy = %d, want heartbeat-reported 3", snap[0].Busy)
+	}
+
+	if !r.Deregister("w2") || r.Deregister("w2") {
+		t.Fatal("deregister should succeed once")
+	}
+	if len(leaves) != 1 || leaves[0] != "w2" {
+		t.Fatalf("leaves = %v, want [w2]", leaves)
+	}
+}
+
+func TestRegistryLeaseExpiry(t *testing.T) {
+	var leaves []string
+	r := NewRegistry(50*time.Millisecond, nil, func(id string) { leaves = append(leaves, id) })
+	r.Register(RegisterRequest{ID: "w1", Addr: "http://a:1"})
+	r.Register(RegisterRequest{ID: "w2", Addr: "http://b:1"})
+
+	// Within the lease: nothing expires.
+	if expired := r.ExpireStale(time.Now()); len(expired) != 0 {
+		t.Fatalf("expired %v inside lease", expired)
+	}
+	// Keep w2 alive, let w1 lapse.
+	time.Sleep(60 * time.Millisecond)
+	r.Heartbeat("w2", 0)
+	expired := r.ExpireStale(time.Now())
+	if len(expired) != 1 || expired[0] != "w1" {
+		t.Fatalf("expired = %v, want [w1]", expired)
+	}
+	if r.Expirations() != 1 {
+		t.Errorf("expirations = %d, want 1", r.Expirations())
+	}
+	if _, ok := r.Addr("w1"); ok {
+		t.Error("expired worker still resolvable")
+	}
+	if _, ok := r.Addr("w2"); !ok {
+		t.Error("heartbeating worker expired")
+	}
+	if len(leaves) != 1 || leaves[0] != "w1" {
+		t.Errorf("leave callbacks = %v, want [w1]", leaves)
+	}
+}

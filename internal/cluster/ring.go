@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent hash ring over worker IDs. Cells map to workers
+// by hashing their explore.CellKey onto the ring and walking clockwise
+// to the first virtual node; each worker owns `replicas` virtual nodes
+// so load spreads evenly. The property the fabric relies on: adding or
+// removing one worker only remaps the arcs adjacent to its virtual
+// nodes (~1/N of the key space), so worker churn mostly preserves which
+// worker's warm cache a given cell lands on.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []uint64          // sorted virtual-node hashes
+	owner    map[uint64]string // virtual-node hash -> worker ID
+	members  map[string]struct{}
+}
+
+// DefaultReplicas is the virtual-node count per worker: enough that a
+// handful of workers split the key space within a few percent of evenly.
+const DefaultReplicas = 64
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (DefaultReplicas if n <= 0).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultReplicas
+	}
+	return &Ring{
+		replicas: n,
+		owner:    make(map[uint64]string),
+		members:  make(map[string]struct{}),
+	}
+}
+
+// ringHash positions a string on the ring: the first 8 bytes of its
+// SHA-256. The same function serves virtual nodes and cell keys, and is
+// stable across processes and architectures (unlike maphash), which
+// keeps coordinator restarts from reshuffling the whole space.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a worker's virtual nodes (idempotent).
+func (r *Ring) Add(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; ok {
+		return
+	}
+	r.members[id] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		h := ringHash(fmt.Sprintf("%s#%d", id, i))
+		// A virtual-node collision between distinct workers is a ~2^-64
+		// event per pair; keep the first owner, losing one replica.
+		if _, taken := r.owner[h]; taken {
+			continue
+		}
+		r.owner[h] = id
+		r.points = append(r.points, h)
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a] < r.points[b] })
+}
+
+// Remove deletes a worker's virtual nodes (a no-op for non-members).
+func (r *Ring) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; !ok {
+		return
+	}
+	delete(r.members, id)
+	kept := r.points[:0]
+	for _, h := range r.points {
+		if r.owner[h] == id {
+			delete(r.owner, h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	r.points = kept
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns the member IDs in unspecified order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for id := range r.members {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Owner returns the worker owning key, or false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Owners returns up to n distinct workers for key, in ring order
+// starting at its owner — the failover sequence for a cell: attempt i
+// goes to Owners(key, n)[i mod len]. Every member appears at most once.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		id := r.owner[r.points[(start+i)%len(r.points)]]
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cellkey-%04d", i)
+	}
+	return keys
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	if got := r.Owners("k", 3); got != nil {
+		t.Fatalf("empty ring Owners = %v", got)
+	}
+	r.Add("w1")
+	for _, k := range ringKeys(50) {
+		id, ok := r.Owner(k)
+		if !ok || id != "w1" {
+			t.Fatalf("Owner(%s) = %q, %v; want w1", k, id, ok)
+		}
+	}
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(0)
+	for _, id := range []string{"w1", "w2", "w3"} {
+		r.Add(id)
+	}
+	for _, k := range ringKeys(100) {
+		owners := r.Owners(k, 5) // capped at member count
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%s) = %v; want 3 distinct", k, owners)
+		}
+		seen := map[string]bool{}
+		for _, id := range owners {
+			if seen[id] {
+				t.Fatalf("Owners(%s) repeats %s", k, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestRingDeterministic proves two independently built rings agree — the
+// property that lets a restarted coordinator re-derive the same shards.
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for _, id := range []string{"w3", "w1", "w2"} {
+		a.Add(id)
+	}
+	for _, id := range []string{"w1", "w2", "w3"} { // different insert order
+		b.Add(id)
+	}
+	for _, k := range ringKeys(200) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, oa, ob)
+		}
+	}
+}
+
+// TestRingMinimalRemap verifies the consistent-hashing contract: removing
+// one of N workers only remaps the keys that worker owned, and the
+// survivors keep every key they had.
+func TestRingMinimalRemap(t *testing.T) {
+	r := NewRing(0)
+	workers := []string{"w1", "w2", "w3", "w4"}
+	for _, id := range workers {
+		r.Add(id)
+	}
+	keys := ringKeys(1000)
+	before := make(map[string]string, len(keys))
+	perWorker := map[string]int{}
+	for _, k := range keys {
+		id, _ := r.Owner(k)
+		before[k] = id
+		perWorker[id]++
+	}
+	// With 64 virtual nodes each, every worker should own a real share.
+	for _, id := range workers {
+		if perWorker[id] < len(keys)/len(workers)/3 {
+			t.Errorf("worker %s owns only %d/%d keys — ring badly unbalanced", id, perWorker[id], len(keys))
+		}
+	}
+
+	r.Remove("w2")
+	moved := 0
+	for _, k := range keys {
+		id, _ := r.Owner(k)
+		if before[k] == "w2" {
+			if id == "w2" {
+				t.Fatalf("key %s still owned by removed worker", k)
+			}
+			moved++
+			continue
+		}
+		if id != before[k] {
+			t.Fatalf("key %s moved from survivor %s to %s", k, before[k], id)
+		}
+	}
+	if moved != perWorker["w2"] {
+		t.Errorf("moved %d keys, want exactly w2's %d", moved, perWorker["w2"])
+	}
+
+	// Re-adding restores the original assignment exactly.
+	r.Add("w2")
+	for _, k := range keys {
+		if id, _ := r.Owner(k); id != before[k] {
+			t.Fatalf("after re-add, key %s owned by %s, want %s", k, id, before[k])
+		}
+	}
+}

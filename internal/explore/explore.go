@@ -42,8 +42,9 @@ type Progress struct {
 	Done, Total int
 	// CacheHits were answered from the cache/journal without simulating;
 	// Simulated ran; Failed of the simulated ended in a deterministic
-	// error (and were cached as such).
-	CacheHits, Simulated, Failed int
+	// error (and were cached as such). Remote counts the simulated cells
+	// a CellRunner executed on another node (WithRunner).
+	CacheHits, Simulated, Failed, Remote int
 	// SimCycles totals simulated machine cycles this sweep.
 	SimCycles uint64
 	// Elapsed wall time, cells-per-second throughput over it, and the
@@ -116,6 +117,29 @@ func WithProgress(fn func(Progress)) Option {
 	return func(e *Explorer) error { e.progress = fn; return nil }
 }
 
+// CellRunner executes one cell somewhere other than this process — the
+// hook the distributed sweep fabric plugs in so a coordinator's sweeps
+// fan out across worker daemons. The runner receives everything that
+// defines the cell (the content-addressed key plus the inputs it was
+// derived from) and returns the completed cell, whose Key must equal key.
+// Any error — no workers, network failure, retries exhausted — makes the
+// sweep fall back to simulating the cell locally, so a degraded fabric
+// only loses speed, never results.
+type CellRunner func(ctx context.Context, key string, cfg sim.Config, app string, sc workload.Scale, threadCounts []int) (Cell, error)
+
+// WithRunner installs a CellRunner consulted before local simulation on
+// every sweep cache miss (see CellRunner). RunOne and Tune never use the
+// runner: they are the local units of work a remote fabric itself calls.
+func WithRunner(fn CellRunner) Option {
+	return func(e *Explorer) error {
+		if fn == nil {
+			return fmt.Errorf("%w: nil CellRunner", design.ErrBadOptions)
+		}
+		e.runner = fn
+		return nil
+	}
+}
+
 // WithCacheLimit caps the result cache at n cells, evicting least
 // recently used entries beyond it (see Cache.SetLimit). The default is
 // unlimited — the right choice for one-shot CLI sweeps; a long-running
@@ -145,6 +169,7 @@ type Explorer struct {
 	journalPath  string
 	resume       bool
 	progress     func(Progress)
+	runner       CellRunner
 
 	journal *journal
 	// Loaded reports how many journal records a resume replayed.
@@ -326,20 +351,37 @@ func (e *Explorer) SweepWith(ctx context.Context, points []design.Point, apps []
 				if ctx.Err() != nil {
 					continue // drain the queue without simulating
 				}
-				br, err := design.BestThreadsContext(ctx, configs[job.pi], instances[job.ai], threadCounts)
-				if err != nil && ctx.Err() != nil {
-					// Cancelled mid-cell: do not cache or journal a
-					// non-deterministic partial outcome.
-					continue
+				var cell Cell
+				remote := 0
+				if e.runner != nil {
+					// Remote execution first; any failure (no workers,
+					// network, retries exhausted) falls back to simulating
+					// locally, so a degraded fabric never loses cells.
+					rc, rerr := e.runner(ctx, key, configs[job.pi], apps[job.ai].Name, scale, threadCounts)
+					if rerr == nil && rc.Key == key {
+						cell, remote = rc, 1
+					} else if ctx.Err() != nil {
+						continue
+					}
 				}
-				cell := Cell{Key: key, App: apps[job.ai].Name, Arch: points[job.pi].Arch.String()}
 				failed := 0
-				if err != nil {
-					cell.Err = err.Error()
+				if remote == 0 {
+					br, err := design.BestThreadsContext(ctx, configs[job.pi], instances[job.ai], threadCounts)
+					if err != nil && ctx.Err() != nil {
+						// Cancelled mid-cell: do not cache or journal a
+						// non-deterministic partial outcome.
+						continue
+					}
+					cell = Cell{Key: key, App: apps[job.ai].Name, Arch: points[job.pi].Arch.String()}
+					if err != nil {
+						cell.Err = err.Error()
+					} else {
+						cell.AIPC, cell.Threads = br.AIPC, br.Threads
+						cell.Cycles, cell.SimCycles = br.Cycles, br.SimCycles
+					}
+				}
+				if cell.Err != "" {
 					failed = 1
-				} else {
-					cell.AIPC, cell.Threads = br.AIPC, br.Threads
-					cell.Cycles, cell.SimCycles = br.Cycles, br.SimCycles
 				}
 				e.cache.PutCell(cell)
 				if e.journal != nil {
@@ -356,7 +398,8 @@ func (e *Explorer) SweepWith(ctx context.Context, points []design.Point, apps []
 					p.Done++
 					p.Simulated++
 					p.Failed += failed
-					p.SimCycles += br.SimCycles
+					p.Remote += remote
+					p.SimCycles += cell.SimCycles
 				})
 			}
 		}()
@@ -478,6 +521,23 @@ func (e *Explorer) RunOne(ctx context.Context, cfg sim.Config, w workload.Worklo
 // Cache returns the explorer's result cache (private or shared), for
 // callers that report its statistics or pre-warm it.
 func (e *Explorer) Cache() *Cache { return e.cache }
+
+// RecordCell commits an externally completed cell to the cache and the
+// journal — the write-through the cluster tier uses to stream cells
+// completed on remote workers into the coordinator's shared result space.
+// Because cells are content-addressed, recording the same cell twice is
+// idempotent in the cache; the journal tolerates duplicate records (resume
+// replays them onto the same key).
+func (e *Explorer) RecordCell(cell Cell) error {
+	if cell.Key == "" {
+		return fmt.Errorf("%w: cell without key", design.ErrBadOptions)
+	}
+	e.cache.PutCell(cell)
+	if e.journal != nil {
+		return e.journal.append(cellRecord(cell))
+	}
+	return nil
+}
 
 // Tune runs the Table 4 procedure for one workload through the cache and
 // journal: a previously journaled tuning with the same workload, schedule

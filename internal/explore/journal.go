@@ -64,12 +64,12 @@ func openJournal(path string, resume bool, cache *Cache) (*journal, int, error) 
 	return &journal{f: f, w: bufio.NewWriter(f)}, loaded, nil
 }
 
-// loadJournal replays a journal file into the cache, returning how many
-// records were loaded. A missing file is an empty journal, not an error
-// (so -resume works on the first run too). A torn final line — the
-// signature of a crash mid-append — is ignored; a corrupt line elsewhere
-// is an error.
-func loadJournal(path string, cache *Cache) (int, error) {
+// walkJournal streams a journal file's records through fn, returning how
+// many records were delivered. A missing file is an empty journal, not an
+// error (so -resume works on the first run too). A torn final line — the
+// signature of a crash mid-append — is skipped with a logged warning; a
+// corrupt or unknown-kind line anywhere else is an error.
+func walkJournal(path string, fn func(record)) (int, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return 0, nil
@@ -95,17 +95,8 @@ func loadJournal(path string, cache *Cache) (int, error) {
 			continue
 		}
 		switch rec.Kind {
-		case "cell":
-			cache.PutCell(Cell{
-				Key: rec.Key, App: rec.App, Arch: rec.Arch,
-				AIPC: rec.AIPC, Threads: rec.Threads,
-				Cycles: rec.Cycles, SimCycles: rec.Sim, Err: rec.Err,
-			})
-			n++
-		case "tuning":
-			cache.PutTuning(rec.Key, design.Tuning{
-				App: rec.App, KOpt: rec.KOpt, UOpt: rec.UOpt, Ratio: rec.Ratio,
-			})
+		case "cell", "tuning":
+			fn(rec)
 			n++
 		default:
 			pendingErr = fmt.Errorf("explore: journal %s line %d: unknown kind %q", path, line, rec.Kind)
@@ -121,6 +112,72 @@ func loadJournal(path string, cache *Cache) (int, error) {
 		log.Printf("explore: resume: skipping torn trailing journal record: %v", pendingErr)
 	}
 	return n, nil
+}
+
+// loadJournal replays a journal file into the cache, returning how many
+// records were loaded.
+func loadJournal(path string, cache *Cache) (int, error) {
+	return walkJournal(path, func(rec record) { storeRecord(cache, rec) })
+}
+
+// storeRecord inserts one journal record into the cache.
+func storeRecord(cache *Cache, rec record) {
+	switch rec.Kind {
+	case "cell":
+		cache.PutCell(Cell{
+			Key: rec.Key, App: rec.App, Arch: rec.Arch,
+			AIPC: rec.AIPC, Threads: rec.Threads,
+			Cycles: rec.Cycles, SimCycles: rec.Sim, Err: rec.Err,
+		})
+	case "tuning":
+		cache.PutTuning(rec.Key, design.Tuning{
+			App: rec.App, KOpt: rec.KOpt, UOpt: rec.UOpt, Ratio: rec.Ratio,
+		})
+	}
+}
+
+// ReplayJournal replays the journal file at path into cache, returning
+// how many records were loaded. It is loadJournal exported for the
+// cluster tier, which pre-warms worker caches from a shared journal
+// without constructing an Explorer.
+func ReplayJournal(path string, cache *Cache) (int, error) {
+	return loadJournal(path, cache)
+}
+
+// MergeJournal folds another journal file into this explorer's result
+// space: records whose key is not already cached are inserted into the
+// cache and re-appended to this explorer's journal, so the merged journal
+// is self-contained for the next warm restart. Records already present
+// (by content-addressed key) are skipped, making the merge idempotent —
+// merging the same worker journal twice, or two journals from overlapping
+// sweeps, adds each cell exactly once. It is safe to call concurrently
+// with sweeps appending to the same explorer.
+func (e *Explorer) MergeJournal(path string) (int, error) {
+	merged := 0
+	var firstErr error
+	_, err := walkJournal(path, func(rec record) {
+		switch rec.Kind {
+		case "cell":
+			if _, ok := e.cache.Cell(rec.Key); ok {
+				return
+			}
+		case "tuning":
+			if _, ok := e.cache.Tuning(rec.Key); ok {
+				return
+			}
+		}
+		storeRecord(e.cache, rec)
+		merged++
+		if e.journal != nil {
+			if jerr := e.journal.append(rec); jerr != nil && firstErr == nil {
+				firstErr = jerr
+			}
+		}
+	})
+	if err != nil {
+		return merged, err
+	}
+	return merged, firstErr
 }
 
 // append writes one record and flushes it, so the journal is durable up

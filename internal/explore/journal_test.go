@@ -1,0 +1,246 @@
+package explore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeCell fabricates a content-addressed-looking cell for journal tests
+// (the journal never recomputes keys, so synthetic ones are fine).
+func fakeCell(i int) Cell {
+	return Cell{
+		Key: fmt.Sprintf("%032x", i), App: "fft", Arch: "c1d4p8",
+		AIPC: float64(i) + 0.5, Threads: 1,
+		Cycles: uint64(1000 + i), SimCycles: uint64(1000 + i),
+	}
+}
+
+func writeJournalLines(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalTornTrailingRecord: a crash mid-append leaves a truncated
+// final line. Resume must load every complete record and skip only the
+// torn one — losing the cell in flight, never the journal.
+func TestJournalTornTrailingRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	good1 := `{"kind":"cell","key":"aaaa","app":"fft","aipc":1.5,"threads":1,"cycles":100}`
+	good2 := `{"kind":"cell","key":"bbbb","app":"lu","aipc":2.5,"threads":1,"cycles":200}`
+	writeJournalLines(t, path, good1, good2, `{"kind":"cell","key":"cc`)
+
+	cache := NewCache()
+	n, err := ReplayJournal(path, cache)
+	if err != nil {
+		t.Fatalf("torn trailing record should not fail resume: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("replayed %d records, want 2", n)
+	}
+	if _, ok := cache.Cell("aaaa"); !ok {
+		t.Error("first record lost")
+	}
+	if cell, ok := cache.Cell("bbbb"); !ok || cell.AIPC != 2.5 {
+		t.Errorf("second record lost or mangled: %+v", cell)
+	}
+}
+
+// TestJournalMidFileCorruption: a bad line that is NOT the trailing one
+// is real corruption and must refuse to resume — silently skipping
+// interior records would serve a partial result space as if complete.
+func TestJournalMidFileCorruption(t *testing.T) {
+	good := `{"kind":"cell","key":"aaaa","app":"fft"}`
+	for name, lines := range map[string][]string{
+		"garbage":      {good, `{"kind":"cell","key":"bb`, good},
+		"unknown kind": {good, `{"kind":"mystery","key":"bbbb"}`, good},
+	} {
+		path := filepath.Join(t.TempDir(), "corrupt.jsonl")
+		writeJournalLines(t, path, lines...)
+		if _, err := ReplayJournal(path, NewCache()); err == nil {
+			t.Errorf("%s mid-file: resume succeeded, want error", name)
+		}
+	}
+}
+
+// TestJournalMissingFile: resuming from a journal that does not exist yet
+// is an empty journal, not an error.
+func TestJournalMissingFile(t *testing.T) {
+	n, err := ReplayJournal(filepath.Join(t.TempDir(), "absent.jsonl"), NewCache())
+	if err != nil || n != 0 {
+		t.Fatalf("missing journal: n=%d err=%v, want 0 records and no error", n, err)
+	}
+}
+
+// TestJournalConcurrentAppend: many goroutines committing cells through
+// RecordCell must interleave into a journal whose every line is intact —
+// the append lock is the only thing between a sweep's workers and a
+// corrupt result space.
+func TestJournalConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "concurrent.jsonl")
+	exp, err := New(WithJournal(path, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := exp.RecordCell(fakeCell(i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewCache()
+	loaded, err := ReplayJournal(path, cache)
+	if err != nil {
+		t.Fatalf("replay after concurrent appends: %v", err)
+	}
+	if loaded != n {
+		t.Errorf("replayed %d records, want %d", loaded, n)
+	}
+	for i := 0; i < n; i++ {
+		want := fakeCell(i)
+		if got, ok := cache.Cell(want.Key); !ok || got != want {
+			t.Errorf("cell %d: got %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+}
+
+// TestMergeJournal: folding a worker's journal into a coordinator's
+// explorer adds exactly the missing cells, re-appends them so the merged
+// journal is self-contained, and is idempotent on a second merge.
+func TestMergeJournal(t *testing.T) {
+	dir := t.TempDir()
+	coordPath := filepath.Join(dir, "coord.jsonl")
+	workerPath := filepath.Join(dir, "worker.jsonl")
+
+	coord, err := New(WithJournal(coordPath, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := New(WithJournal(workerPath, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator holds cells 0-3; worker holds 2-7 (overlap on 2, 3).
+	for i := 0; i < 4; i++ {
+		if err := coord.RecordCell(fakeCell(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 2; i < 8; i++ {
+		if err := worker.RecordCell(fakeCell(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := worker.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := coord.MergeJournal(workerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 4 { // cells 4-7; the overlap is already cached
+		t.Errorf("merged %d records, want 4", merged)
+	}
+	again, err := coord.MergeJournal(workerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Errorf("re-merge added %d records, want 0 (idempotent)", again)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator's journal is now self-contained: a cold replay
+	// holds the union.
+	cache := NewCache()
+	if _, err := ReplayJournal(coordPath, cache); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		want := fakeCell(i)
+		if got, ok := cache.Cell(want.Key); !ok || got != want {
+			t.Errorf("after merge, cell %d: got %+v ok=%v", i, got, ok)
+		}
+	}
+}
+
+// TestMergeJournalConcurrentWithAppends: merging while another goroutine
+// is appending fresh cells must lose nothing from either stream.
+func TestMergeJournalConcurrentWithAppends(t *testing.T) {
+	dir := t.TempDir()
+	coordPath := filepath.Join(dir, "coord.jsonl")
+	workerPath := filepath.Join(dir, "worker.jsonl")
+
+	worker, err := New(WithJournal(workerPath, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 150; i++ {
+		if err := worker.RecordCell(fakeCell(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := worker.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := New(WithJournal(coordPath, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := coord.RecordCell(fakeCell(i)); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	merged, err := coord.MergeJournal(workerPath)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 50 {
+		t.Errorf("merged %d, want 50", merged)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewCache()
+	loaded, err := ReplayJournal(coordPath, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 100 {
+		t.Errorf("replayed %d records, want 100", loaded)
+	}
+	for _, i := range []int{0, 49, 100, 149} {
+		if _, ok := cache.Cell(fakeCell(i).Key); !ok {
+			t.Errorf("cell %d missing after concurrent merge", i)
+		}
+	}
+}

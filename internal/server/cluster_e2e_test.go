@@ -1,0 +1,293 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"wavescalar/internal/cluster"
+	"wavescalar/internal/explore"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// execArgs is one resolved cell for driving /v1/cluster/execute.
+func execArgs(t *testing.T) (sim.Config, string, workload.Scale, []int) {
+	t.Helper()
+	return sim.Baseline(sim.BaselineArch()), "fft", workload.Tiny, []int{1}
+}
+
+func mustKey(t *testing.T, cfg sim.Config, app string, sc workload.Scale, counts []int) string {
+	t.Helper()
+	key := explore.CellKey(cfg, app, sc, counts)
+	if key == "" {
+		t.Fatal("empty cell key")
+	}
+	return key
+}
+
+// registerWorker announces a worker to the coordinator over the real
+// HTTP protocol.
+func registerWorker(t *testing.T, coordURL, id, addr string) {
+	t.Helper()
+	body := fmt.Sprintf(`{"id":%q,"addr":%q,"version":{"tool":"wsd","version":"dev","commit":"unknown","date":"unknown","go":"test"}}`, id, addr)
+	resp := post(t, coordURL+"/v1/cluster/register", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register %s: status %d", id, resp.StatusCode)
+	}
+	var reg cluster.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.LeaseS <= 0 || reg.Version.Tool != "wsd" {
+		t.Fatalf("register %s: response %+v", id, reg)
+	}
+}
+
+// sweepResult runs one sweep to completion and returns the raw result
+// JSON (designs + frontier) — the byte-identity currency of the fabric.
+func sweepResult(t *testing.T, baseURL, body string, midSweep func()) json.RawMessage {
+	t.Helper()
+	resp := post(t, baseURL+"/v1/sweeps", body)
+	accepted := decode[struct {
+		ID string `json:"id"`
+	}](t, resp)
+	if resp.StatusCode != http.StatusAccepted || accepted.ID == "" {
+		t.Fatalf("sweep not accepted: status %d id %q", resp.StatusCode, accepted.ID)
+	}
+	fired := midSweep == nil
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s did not finish in time", accepted.ID)
+		}
+		jr, err := http.Get(baseURL + "/v1/jobs/" + accepted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status := decode[struct {
+			State    string `json:"state"`
+			Error    string `json:"error"`
+			Progress struct {
+				Done int `json:"done"`
+			} `json:"progress"`
+			Result json.RawMessage `json:"result"`
+		}](t, jr)
+		if !fired && (status.State == "running" || status.Progress.Done > 0) {
+			midSweep()
+			fired = true
+		}
+		switch status.State {
+		case "done":
+			return status.Result
+		case "failed", "cancelled":
+			t.Fatalf("sweep %s: state %s (%s)", accepted.ID, status.State, status.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterSmoke is the fabric acceptance test, compose-free: a
+// coordinator and two in-process workers run a sweep, one worker is
+// killed mid-sweep, and the surviving fabric must produce byte-identical
+// results to a single-node sweep of the same cells.
+func TestClusterSmoke(t *testing.T) {
+	const sweepBody = `{"apps":["fft","lu"],"scale":"tiny","max_points":8}`
+
+	// Ground truth: the same sweep on an ordinary single-role daemon.
+	_, single := newTestServer(t)
+	want := sweepResult(t, single.URL, sweepBody, nil)
+
+	coordSrv, coord := newTestServer(t,
+		WithRole(RoleCoordinator),
+		WithClusterOptions(cluster.Options{
+			Lease:       500 * time.Millisecond,
+			Attempts:    3,
+			Backoff:     5 * time.Millisecond,
+			ExecTimeout: time.Minute,
+		}),
+	)
+	_, w1 := newTestServer(t, WithRole(RoleWorker))
+	_, w2 := newTestServer(t, WithRole(RoleWorker))
+	registerWorker(t, coord.URL, "w1", w1.URL)
+	registerWorker(t, coord.URL, "w2", w2.URL)
+
+	resp, err := http.Get(coord.URL + "/v1/cluster/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := decode[cluster.WorkersResponse](t, resp)
+	if members.Role != "coordinator" || len(members.Workers) != 2 {
+		t.Fatalf("workers = %+v", members)
+	}
+
+	// Run the sweep through the coordinator, killing w2 the moment the
+	// job is observably underway: its unfinished cells must requeue onto
+	// w1 (or fall back to local simulation) without changing one byte.
+	killed := false
+	got := sweepResult(t, coord.URL, sweepBody, func() {
+		w2.Close()
+		killed = true
+	})
+	if !killed {
+		t.Fatal("mid-sweep hook never fired")
+	}
+	if string(got) != string(want) {
+		t.Errorf("fabric sweep differs from single-node sweep:\n%s\nvs\n%s", got, want)
+	}
+	if st := coordSrv.coord.Stats(); st.RemoteCells == 0 {
+		t.Errorf("fabric was never used: stats %+v", st)
+	}
+
+	// The coordinator's scrape must expose the fabric: membership,
+	// per-worker in-flight cells, requeues, lease expirations, and the
+	// build-info gauge labeled with the role.
+	mr, err := http.Get(coord.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := readAll(t, mr)
+	for _, series := range []string{
+		"wsd_cluster_workers",
+		"wsd_cluster_worker_inflight",
+		"wsd_cluster_cells_dispatched_total",
+		"wsd_cluster_remote_cells_total",
+		"wsd_cluster_requeues_total",
+		"wsd_cluster_lease_expirations_total",
+		"wsd_quota_rejected_total",
+		`role="coordinator"`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("coordinator /metrics missing %s", series)
+		}
+	}
+}
+
+// TestClusterExecuteEndpoint drives the worker half of the protocol
+// directly: a valid request simulates and returns the requested key, a
+// repeat is served from cache, and a drifted key is refused with 409.
+func TestClusterExecuteEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, WithRole(RoleWorker))
+	cfg, app, sc, counts := execArgs(t)
+	key := mustKey(t, cfg, app, sc, counts)
+
+	body, err := json.Marshal(cluster.ExecRequest{Key: key, Config: cfg, App: app, Scale: sc, ThreadCounts: counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, ts.URL+"/v1/cluster/execute", string(body))
+	first := decode[cluster.ExecResponse](t, resp)
+	if resp.StatusCode != http.StatusOK || first.Cell.Key != key || first.Cached {
+		t.Fatalf("first execute: status %d, %+v", resp.StatusCode, first)
+	}
+	if first.Version.Tool != "wsd" {
+		t.Errorf("response not version-stamped: %+v", first.Version)
+	}
+
+	resp = post(t, ts.URL+"/v1/cluster/execute", string(body))
+	second := decode[cluster.ExecResponse](t, resp)
+	if !second.Cached || second.Cell != first.Cell {
+		t.Errorf("repeat execute not served from cache: %+v", second)
+	}
+
+	bad, err := json.Marshal(cluster.ExecRequest{Key: "0000", Config: cfg, App: app, Scale: sc, ThreadCounts: counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = post(t, ts.URL+"/v1/cluster/execute", string(bad))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("drifted key: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestClusterEndpointsRequireCoordinator: membership endpoints on a
+// non-coordinator answer 409, not 404 — the route exists, the role is
+// wrong.
+func TestClusterEndpointsRequireCoordinator(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, ep := range []string{"/v1/cluster/register", "/v1/cluster/heartbeat", "/v1/cluster/deregister"} {
+		resp := post(t, ts.URL+ep, `{"id":"w1","addr":"http://x"}`)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("%s on single role: status %d, want 409", ep, resp.StatusCode)
+		}
+	}
+}
+
+// TestTenantQuota: with a per-tenant cap of 1, a tenant's second
+// concurrent sweep is rejected with 429 + Retry-After while another
+// tenant still gets in.
+func TestTenantQuota(t *testing.T) {
+	srv, ts := newTestServer(t, WithWorkers(1), WithTenantQuota(1))
+	block := make(chan struct{})
+	defer close(block)
+	// Park the only pool worker so admitted jobs stay queued and the
+	// quota stays charged.
+	if err := srv.enqueue(&job{kind: "run", block: block}); err != nil {
+		t.Fatal(err)
+	}
+
+	fire := func(tenant string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweeps",
+			strings.NewReader(`{"apps":["fft"],"scale":"tiny","max_points":2}`))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	first := fire("alice")
+	first.Body.Close()
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first sweep: status %d", first.StatusCode)
+	}
+	second := fire("alice")
+	second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota sweep: status %d, want 429", second.StatusCode)
+	}
+	if ra := second.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 missing Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After %q not a positive integer", ra)
+	}
+	other := fire("bob")
+	other.Body.Close()
+	if other.StatusCode != http.StatusAccepted {
+		t.Errorf("other tenant: status %d, want 202 (quota is per-tenant)", other.StatusCode)
+	}
+	if srv.quotas.rejections() != 1 {
+		t.Errorf("rejections = %d, want 1", srv.quotas.rejections())
+	}
+}
+
+// TestRetryAfterJitter: the served hint stays within ±20% of the base
+// and actually varies — lockstep retries are the failure mode.
+func TestRetryAfterJitter(t *testing.T) {
+	srv, err := New(WithRetryAfter(10 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		v := srv.retryAfterValue()
+		secs, err := strconv.Atoi(v)
+		if err != nil || secs < 8 || secs > 12 {
+			t.Fatalf("Retry-After %q outside [8,12]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("no jitter: every hint was %v", seen)
+	}
+}

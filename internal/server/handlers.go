@@ -6,12 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"wavescalar/internal/area"
 	"wavescalar/internal/cli"
+	"wavescalar/internal/cluster"
 	"wavescalar/internal/design"
 	"wavescalar/internal/explore"
 	"wavescalar/internal/fault"
@@ -36,7 +40,60 @@ func (s *Server) routes() *http.ServeMux {
 	handle("POST /v1/sweeps", s.handleSweep)
 	handle("GET /v1/jobs/{id}", s.handleJobGet)
 	handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	// Fabric endpoints. execute is served in every role ("any node can
+	// answer any cell"); the membership endpoints require a coordinator.
+	handle("POST /v1/cluster/execute", s.handleClusterExecute)
+	handle("POST /v1/cluster/register", s.handleClusterRegister)
+	handle("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
+	handle("POST /v1/cluster/deregister", s.handleClusterDeregister)
+	handle("GET /v1/cluster/workers", s.handleClusterWorkers)
 	return mux
+}
+
+// retryAfterValue renders the 429 Retry-After hint: the configured base
+// jittered ±20%, so a thundering herd of synchronized clients (or a
+// fleet of coordinators retrying cells) spreads out instead of returning
+// in lockstep.
+func (s *Server) retryAfterValue() string {
+	jittered := s.retryAfter.Seconds() * (0.8 + 0.4*rand.Float64())
+	secs := int(math.Round(jittered))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeAdmissionErr maps an admission failure (full queue, over-quota
+// tenant, shutdown) onto the API's backpressure responses.
+func (s *Server) writeAdmissionErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.metrics.add(&s.metrics.rejectedFull, 1)
+		w.Header().Set("Retry-After", s.retryAfterValue())
+		writeErr(w, http.StatusTooManyRequests, "admission queue full; retry")
+	case errors.Is(err, errQuotaExceeded):
+		w.Header().Set("Retry-After", s.retryAfterValue())
+		writeErr(w, http.StatusTooManyRequests, "tenant quota exceeded; retry")
+	default:
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+	}
+}
+
+// admit charges the request's tenant quota and enqueues the job,
+// settling the quota on failure. On success the job carries the tenant
+// and the worker pool releases it when the job resolves.
+func (s *Server) admit(r *http.Request, jb *job) error {
+	tenant := tenantOf(r)
+	if err := s.quotas.acquire(tenant); err != nil {
+		return err
+	}
+	jb.tenant = tenant
+	if err := s.enqueue(jb); err != nil {
+		jb.tenant = ""
+		s.quotas.release(tenant)
+		return err
+	}
+	return nil
 }
 
 // statusWriter captures the response code for metrics and whether any
@@ -238,17 +295,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if leader {
 		jb := &job{
 			kind: "run", key: key, call: call,
-			run: &runSpec{cfg: cfg, w: wl, scale: sc, threads: req.Threads},
+			run: &runSpec{cfg: cfg, w: wl, scale: sc, threadCounts: []int{req.Threads}},
 		}
-		if err := s.enqueue(jb); err != nil {
+		if err := s.admit(r, jb); err != nil {
 			s.flight.abandon(key, call, err)
-			if errors.Is(err, errQueueFull) {
-				s.metrics.add(&s.metrics.rejectedFull, 1)
-				w.Header().Set("Retry-After", "1")
-				writeErr(w, http.StatusTooManyRequests, "admission queue full; retry")
-			} else {
-				writeErr(w, http.StatusServiceUnavailable, "shutting down")
-			}
+			s.writeAdmissionErr(w, err)
 			return
 		}
 	} else {
@@ -357,16 +408,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	jb.progress.Total = len(points) * len(apps)
 	id := s.jobs.add(jb)
-	if err := s.enqueue(jb); err != nil {
+	if err := s.admit(r, jb); err != nil {
 		s.jobs.remove(id)
 		cancel()
-		if errors.Is(err, errQueueFull) {
-			s.metrics.add(&s.metrics.rejectedFull, 1)
-			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, "admission queue full; retry")
-		} else {
-			writeErr(w, http.StatusServiceUnavailable, "shutting down")
-		}
+		s.writeAdmissionErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -401,6 +446,7 @@ type jobProgress struct {
 	Total     int     `json:"total"`
 	CacheHits int     `json:"cache_hits"`
 	Simulated int     `json:"simulated"`
+	Remote    int     `json:"remote"`
 	Failed    int     `json:"failed"`
 	SimCycles uint64  `json:"sim_cycles"`
 	ElapsedS  float64 `json:"elapsed_s"`
@@ -429,8 +475,8 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		"state": state,
 		"progress": jobProgress{
 			Done: p.Done, Total: p.Total, CacheHits: p.CacheHits,
-			Simulated: p.Simulated, Failed: p.Failed, SimCycles: p.SimCycles,
-			ElapsedS: p.Elapsed.Seconds(),
+			Simulated: p.Simulated, Remote: p.Remote, Failed: p.Failed,
+			SimCycles: p.SimCycles, ElapsedS: p.Elapsed.Seconds(),
 		},
 	}
 	if jerr != nil {
@@ -501,11 +547,186 @@ func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "designs": rows})
 }
 
+// requireCoordinator gates the membership endpoints: only a coordinator
+// owns a worker registry.
+func (s *Server) requireCoordinator(w http.ResponseWriter) bool {
+	if s.coord == nil {
+		writeErr(w, http.StatusConflict, "not a coordinator (role %s)", s.role)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	if s.isClosing() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	var req cluster.RegisterRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.ID == "" || req.Addr == "" {
+		writeErr(w, http.StatusBadRequest, "id and addr are required")
+		return
+	}
+	s.coord.Registry().Register(req)
+	log.Printf("server: cluster worker %s registered at %s (version %s)", req.ID, req.Addr, req.Version.Version)
+	writeJSON(w, http.StatusOK, cluster.RegisterResponse{
+		LeaseS:  s.coord.Registry().TTL().Seconds(),
+		Version: version.Get("wsd"),
+	})
+}
+
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	var req cluster.HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if !s.coord.Registry().Heartbeat(req.ID, req.Busy) {
+		// Unknown lease (coordinator restart or expiry): the agent
+		// re-registers on 404.
+		writeErr(w, http.StatusNotFound, "unknown worker %q; re-register", req.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.HeartbeatResponse{OK: true, Version: version.Get("wsd")})
+}
+
+func (s *Server) handleClusterDeregister(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	var req cluster.DeregisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	found := s.coord.Registry().Deregister(req.ID)
+	if found {
+		log.Printf("server: cluster worker %s deregistered (graceful drain)", req.ID)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": found, "version": version.Get("wsd")})
+}
+
+func (s *Server) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.WorkersResponse{
+		Role:    string(s.role),
+		LeaseS:  s.coord.Registry().TTL().Seconds(),
+		Version: version.Get("wsd"),
+		Workers: s.coord.Registry().Snapshot(),
+	})
+}
+
+// handleClusterExecute simulates one fully resolved cell on this node —
+// the worker half of the dispatch protocol, though every role serves it.
+// It reuses the run pipeline end to end: cache fast path, singleflight,
+// bounded admission queue (a 429 here is the signal that makes the
+// coordinator requeue the cell onto another worker), and cache+journal
+// write-through on completion. Fabric traffic is not charged tenant
+// quotas: the originating sweep already paid at the coordinator.
+func (s *Server) handleClusterExecute(w http.ResponseWriter, r *http.Request) {
+	var req cluster.ExecRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Key == "" {
+		writeErr(w, http.StatusBadRequest, "key is required")
+		return
+	}
+	wl, ok := workload.ByName(req.App)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown workload %q", req.App)
+		return
+	}
+	req.Config.Trace = nil
+	if err := req.Config.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad config: %v", err)
+		return
+	}
+	if err := (design.SweepOptions{
+		Scale: req.Scale, ThreadCounts: req.ThreadCounts,
+		Parallelism: 1, Configure: design.BaselineConfigure,
+	}).Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !req.Config.Fault.Empty() {
+		if err := req.Config.Fault.Validate(sim.FaultShape(req.Config)); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad fault script: %v", err)
+			return
+		}
+	}
+	key := explore.CellKey(req.Config, wl.Name, req.Scale, req.ThreadCounts)
+	if key != req.Key {
+		// The mixed-version guard: committing under a drifted key schema
+		// would corrupt the shared result space.
+		writeErr(w, http.StatusConflict,
+			"cell key mismatch: computed %s for requested %s (local version %s — mixed-version fabric?)",
+			key, req.Key, version.Version)
+		return
+	}
+	respond := func(cell explore.Cell, cached bool) {
+		writeJSON(w, http.StatusOK, cluster.ExecResponse{Cell: cell, Cached: cached, Version: version.Get("wsd")})
+	}
+	if cell, ok := s.cache.Cell(key); ok {
+		respond(cell, true)
+		return
+	}
+	if s.isClosing() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	call, leader := s.flight.join(key)
+	if leader {
+		jb := &job{
+			kind: "run", key: key, call: call,
+			run: &runSpec{cfg: req.Config, w: wl, scale: req.Scale, threadCounts: req.ThreadCounts},
+		}
+		if err := s.enqueue(jb); err != nil {
+			s.flight.abandon(key, call, err)
+			s.writeAdmissionErr(w, err)
+			return
+		}
+	} else {
+		s.metrics.add(&s.metrics.dedupShared, 1)
+	}
+	select {
+	case <-call.done:
+		if call.err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v", call.err)
+			return
+		}
+		respond(call.cell, false)
+	case <-r.Context().Done():
+		// The coordinator timed out this attempt and will requeue the
+		// cell; the simulation continues and lands in this node's cache,
+		// so the retry (or any future request) is a fast hit.
+		writeErr(w, http.StatusGatewayTimeout, "caller gave up; the cell continues and will be cached")
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
 	body := map[string]any{
 		"status":         "ok",
 		"version":        version.Get("wsd"),
+		"role":           string(s.role),
 		"workers":        s.workers,
 		"busy":           s.busy.Load(),
 		"queue_depth":    len(s.queue),
@@ -516,6 +737,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"evictions": st.Evictions, "hit_ratio": st.HitRatio(),
 		},
 		"uptime_s": time.Since(s.start).Seconds(),
+	}
+	if s.coord != nil {
+		cs := s.coord.Stats()
+		body["cluster"] = map[string]any{
+			"workers":      cs.Workers,
+			"remote_cells": cs.RemoteCells,
+			"requeues":     cs.Requeues,
+		}
 	}
 	if s.isClosing() {
 		body["status"] = "draining"
@@ -540,4 +769,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"wsd_cache_evictions_total", "Cells evicted by the LRU limit.", float64(st.Evictions)},
 		{"wsd_cache_hit_ratio", "Hits over all cache lookups.", st.HitRatio()},
 	})
+
+	bi := version.Get("wsd")
+	fmt.Fprintf(w, "# HELP wsd_build_info Build identity of this daemon (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE wsd_build_info gauge\n")
+	fmt.Fprintf(w, "wsd_build_info{version=%q,commit=%q,go=%q,role=%q} 1\n", bi.Version, bi.Commit, bi.Go, s.role)
+
+	fmt.Fprintf(w, "# HELP wsd_quota_rejected_total Requests rejected with 429 because the tenant was over its admission quota.\n")
+	fmt.Fprintf(w, "# TYPE wsd_quota_rejected_total counter\n")
+	fmt.Fprintf(w, "wsd_quota_rejected_total %d\n", s.quotas.rejections())
+
+	// Fabric metrics exist only where the fabric does: on the coordinator.
+	if s.coord != nil {
+		cs := s.coord.Stats()
+		fmt.Fprintf(w, "# HELP wsd_cluster_workers Workers currently holding a live lease.\n")
+		fmt.Fprintf(w, "# TYPE wsd_cluster_workers gauge\n")
+		fmt.Fprintf(w, "wsd_cluster_workers %d\n", cs.Workers)
+		fmt.Fprintf(w, "# HELP wsd_cluster_worker_inflight Cells currently dispatched to each worker.\n")
+		fmt.Fprintf(w, "# TYPE wsd_cluster_worker_inflight gauge\n")
+		for _, wi := range s.coord.Registry().Snapshot() {
+			fmt.Fprintf(w, "wsd_cluster_worker_inflight{worker=%q} %d\n", wi.ID, wi.Inflight)
+		}
+		fmt.Fprintf(w, "# HELP wsd_cluster_cells_dispatched_total Cell execution attempts sent to workers.\n")
+		fmt.Fprintf(w, "# TYPE wsd_cluster_cells_dispatched_total counter\n")
+		fmt.Fprintf(w, "wsd_cluster_cells_dispatched_total %d\n", cs.Dispatched)
+		fmt.Fprintf(w, "# HELP wsd_cluster_remote_cells_total Cells completed by workers.\n")
+		fmt.Fprintf(w, "# TYPE wsd_cluster_remote_cells_total counter\n")
+		fmt.Fprintf(w, "wsd_cluster_remote_cells_total %d\n", cs.RemoteCells)
+		fmt.Fprintf(w, "# HELP wsd_cluster_requeues_total Failed attempts retried on another worker.\n")
+		fmt.Fprintf(w, "# TYPE wsd_cluster_requeues_total counter\n")
+		fmt.Fprintf(w, "wsd_cluster_requeues_total %d\n", cs.Requeues)
+		fmt.Fprintf(w, "# HELP wsd_cluster_remote_errors_total Cell execution attempts that failed.\n")
+		fmt.Fprintf(w, "# TYPE wsd_cluster_remote_errors_total counter\n")
+		fmt.Fprintf(w, "wsd_cluster_remote_errors_total %d\n", cs.RemoteErrors)
+		fmt.Fprintf(w, "# HELP wsd_cluster_lease_expirations_total Workers dropped for missing heartbeats.\n")
+		fmt.Fprintf(w, "# TYPE wsd_cluster_lease_expirations_total counter\n")
+		fmt.Fprintf(w, "wsd_cluster_lease_expirations_total %d\n", cs.LeaseExpirations)
+	}
 }

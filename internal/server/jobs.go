@@ -30,13 +30,14 @@ const (
 	stateCancelled = "cancelled"
 )
 
-// runSpec is the resolved work of one POST /v1/runs: a fully validated
-// simulator configuration plus workload, so the worker does no parsing.
+// runSpec is the resolved work of one POST /v1/runs or
+// POST /v1/cluster/execute: a fully validated simulator configuration
+// plus workload, so the worker does no parsing.
 type runSpec struct {
-	cfg     sim.Config
-	w       workload.Workload
-	scale   workload.Scale
-	threads int
+	cfg          sim.Config
+	w            workload.Workload
+	scale        workload.Scale
+	threadCounts []int
 }
 
 // sweepSpec is the resolved work of one POST /v1/sweeps.
@@ -51,6 +52,9 @@ type sweepSpec struct {
 // its flight call) or an asynchronous sweep (tracked in the job registry).
 type job struct {
 	kind string // "run" or "sweep"
+	// tenant is the admission-quota bucket this job occupies until it
+	// resolves ("" when quotas are disabled or the job never acquired).
+	tenant string
 
 	// Run jobs: the singleflight call every waiter blocks on.
 	key  string

@@ -39,9 +39,38 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wavescalar/internal/cluster"
 	"wavescalar/internal/design"
 	"wavescalar/internal/explore"
 )
+
+// Role selects how a daemon participates in the distributed sweep
+// fabric. Every role serves the full single-node API; the roles differ
+// only in where sweep cells execute.
+type Role string
+
+const (
+	// RoleSingle (the default) simulates everything locally.
+	RoleSingle Role = "single"
+	// RoleCoordinator shards sweep cells across registered workers via a
+	// consistent hash ring, streams results into its own cache/journal,
+	// and serves the /v1/cluster registration endpoints. With no workers
+	// registered it degrades to RoleSingle behavior.
+	RoleCoordinator Role = "coordinator"
+	// RoleWorker executes cells on behalf of a coordinator via
+	// POST /v1/cluster/execute (an Agent keeps it registered; see
+	// cluster.Agent). It still serves local runs and sweeps.
+	RoleWorker Role = "worker"
+)
+
+// ParseRole maps the -role flag values to Roles.
+func ParseRole(s string) (Role, error) {
+	switch Role(s) {
+	case RoleSingle, RoleCoordinator, RoleWorker:
+		return Role(s), nil
+	}
+	return "", fmt.Errorf("%w: unknown role %q (single, coordinator, worker)", design.ErrBadOptions, s)
+}
 
 // Option configures New (functional options, mirroring explore.New).
 type Option func(*Server) error
@@ -126,16 +155,70 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithRole selects the daemon's fabric role (default RoleSingle).
+func WithRole(r Role) Option {
+	return func(s *Server) error {
+		if _, err := ParseRole(string(r)); err != nil {
+			return err
+		}
+		s.role = r
+		return nil
+	}
+}
+
+// WithClusterOptions tunes the coordinator's lease, retry, and dispatch
+// behavior (only meaningful with WithRole(RoleCoordinator); zero fields
+// keep the cluster package defaults).
+func WithClusterOptions(opt cluster.Options) Option {
+	return func(s *Server) error {
+		s.clusterOpt = opt
+		return nil
+	}
+}
+
+// WithTenantQuota caps each tenant (the X-Tenant request header;
+// "default" when absent) at n queued-or-running jobs. Over-quota
+// admissions are rejected with 429 + Retry-After, the same backpressure
+// shape as a full queue — so one tenant's sweep storm cannot starve the
+// fabric for everyone else. n = 0 (the default) disables quotas.
+func WithTenantQuota(n int) Option {
+	return func(s *Server) error {
+		if n < 0 {
+			return fmt.Errorf("%w: tenant quota %d must be non-negative", design.ErrBadOptions, n)
+		}
+		s.quotas = newTenantQuotas(n)
+		return nil
+	}
+}
+
+// WithRetryAfter sets the base Retry-After hint on 429 responses
+// (default 2s). The served value is jittered ±20% so synchronized
+// clients don't retry in lockstep against the coordinator.
+func WithRetryAfter(d time.Duration) Option {
+	return func(s *Server) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: retry-after %v must be positive", design.ErrBadOptions, d)
+		}
+		s.retryAfter = d
+		return nil
+	}
+}
+
 // Server is the daemon: an http.Handler plus the worker pool behind it.
 // Construct with New, serve it with net/http, then Shutdown to drain.
 type Server struct {
 	workers        int
 	queueDepth     int
 	requestTimeout time.Duration
+	retryAfter     time.Duration
 	cache          *explore.Cache
 	exploreOpts    []explore.Option
+	role           Role
+	clusterOpt     cluster.Options
+	quotas         *tenantQuotas
 
 	exp     *explore.Explorer
+	coord   *cluster.Coordinator // non-nil only for RoleCoordinator
 	mux     *http.ServeMux
 	metrics *metrics
 	flight  *flightGroup
@@ -161,6 +244,8 @@ func New(opts ...Option) (*Server, error) {
 		workers:        runtime.GOMAXPROCS(0),
 		queueDepth:     64,
 		requestTimeout: 60 * time.Second,
+		retryAfter:     2 * time.Second,
+		role:           RoleSingle,
 		metrics:        newMetrics(),
 		flight:         newFlightGroup(),
 		jobs:           newRegistry(),
@@ -174,11 +259,25 @@ func New(opts ...Option) (*Server, error) {
 	if s.cache == nil {
 		s.cache = explore.NewCache()
 	}
-	exp, err := explore.New(append([]explore.Option{explore.WithCache(s.cache)}, s.exploreOpts...)...)
+	if s.quotas == nil {
+		s.quotas = newTenantQuotas(0)
+	}
+	exploreOpts := append([]explore.Option{explore.WithCache(s.cache)}, s.exploreOpts...)
+	if s.role == RoleCoordinator {
+		// The coordinator's exploration engine tries the fabric first on
+		// every sweep cache miss and falls back to local simulation, so
+		// an empty or degraded fabric still completes every sweep.
+		s.coord = cluster.NewCoordinator(s.clusterOpt)
+		exploreOpts = append(exploreOpts, explore.WithRunner(s.coord.RunCell))
+	}
+	exp, err := explore.New(exploreOpts...)
 	if err != nil {
 		return nil, err
 	}
 	s.exp = exp
+	if s.coord != nil {
+		s.coord.Start()
+	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.queue = make(chan *job, s.queueDepth)
 	s.mux = s.routes()
@@ -191,6 +290,13 @@ func New(opts ...Option) (*Server, error) {
 
 // Resumed reports how many journal records a warm restart replayed.
 func (s *Server) Resumed() int { return s.exp.Resumed() }
+
+// Busy reports how many pool workers are executing a job right now — the
+// fabric agent samples it for heartbeats so the coordinator can see load.
+func (s *Server) Busy() int { return int(s.busy.Load()) }
+
+// Role reports the daemon's fabric role.
+func (s *Server) Role() Role { return s.role }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -242,6 +348,7 @@ func (s *Server) worker() {
 
 // rejectQueued resolves a job that shutdown overtook before it started.
 func (s *Server) rejectQueued(jb *job) {
+	defer s.quotas.release(jb.tenant)
 	switch jb.kind {
 	case "run":
 		s.metrics.add(&s.metrics.simsCancelled, 1)
@@ -257,10 +364,11 @@ func (s *Server) rejectQueued(jb *job) {
 // cannot kill work that concurrent identical requests (or the cache)
 // will use.
 func (s *Server) execute(jb *job) {
+	defer s.quotas.release(jb.tenant)
 	switch jb.kind {
 	case "run":
 		spec := jb.run
-		cell, cached, err := s.exp.RunOne(s.baseCtx, spec.cfg, spec.w, spec.scale, []int{spec.threads})
+		cell, cached, err := s.exp.RunOne(s.baseCtx, spec.cfg, spec.w, spec.scale, spec.threadCounts)
 		if cell.Key == "" {
 			// Cancelled mid-simulation (shutdown drain deadline).
 			s.metrics.add(&s.metrics.simsCancelled, 1)
@@ -336,6 +444,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.cancelBase()
+	if s.coord != nil {
+		s.coord.Stop()
+	}
 	return s.exp.Close()
 }
 

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"wavescalar/internal/area"
+	"wavescalar/internal/cluster"
 	"wavescalar/internal/design"
 	"wavescalar/internal/energy"
 	"wavescalar/internal/explore"
@@ -548,6 +549,52 @@ func ServerJournal(path string, resume bool) ServerOption { return server.WithJo
 // ServerParallelism sets how many simulations a sweep job runs
 // concurrently (default GOMAXPROCS).
 func ServerParallelism(n int) ServerOption { return server.WithParallelism(n) }
+
+// Distributed sweep fabric (internal/cluster): a coordinator shards sweep
+// cells across registered workers via a consistent hash ring on the
+// content-addressed cell key, retries failed cells on other workers, and
+// falls back to local simulation — so a degraded fabric loses speed,
+// never results.
+
+type (
+	// Role selects how a daemon participates in the fabric: RoleSingle
+	// (default), RoleCoordinator, or RoleWorker.
+	Role = server.Role
+	// ClusterOptions tunes the coordinator's lease, retry and dispatch
+	// behavior; the zero value uses production-sane defaults.
+	ClusterOptions = cluster.Options
+	// ClusterAgent keeps a worker registered with its coordinator:
+	// register, heartbeat at a third of the lease, re-register on lease
+	// loss, deregister on shutdown. Run it in a goroutine next to the
+	// worker's HTTP server.
+	ClusterAgent = cluster.Agent
+)
+
+// Fabric roles for ServerRole.
+const (
+	RoleSingle      = server.RoleSingle
+	RoleCoordinator = server.RoleCoordinator
+	RoleWorker      = server.RoleWorker
+)
+
+// ParseRole maps a -role flag value onto a Role.
+func ParseRole(s string) (Role, error) { return server.ParseRole(s) }
+
+// ServerRole selects the daemon's fabric role (default RoleSingle).
+func ServerRole(r Role) ServerOption { return server.WithRole(r) }
+
+// ServerCluster tunes the coordinator's dispatch behavior (only
+// meaningful with ServerRole(RoleCoordinator)).
+func ServerCluster(opt ClusterOptions) ServerOption { return server.WithClusterOptions(opt) }
+
+// ServerTenantQuota caps each tenant (X-Tenant header; "default" when
+// absent) at n queued-or-running jobs; over-quota work gets 429 +
+// Retry-After. 0 (the default) disables quotas.
+func ServerTenantQuota(n int) ServerOption { return server.WithTenantQuota(n) }
+
+// ServerRetryAfter sets the base Retry-After hint on 429 responses
+// (default 2s); the served value is jittered ±20%.
+func ServerRetryAfter(d time.Duration) ServerOption { return server.WithRetryAfter(d) }
 
 // Energy model (an extension beyond the paper, which defers power to
 // future work).
