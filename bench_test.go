@@ -9,6 +9,7 @@
 package wavescalar_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -18,6 +19,13 @@ import (
 	"wavescalar/internal/workload"
 )
 
+// runWorkload is shorthand for RunWorkloadContext with a background
+// context, used throughout these benchmarks.
+func runWorkload(cfg wavescalar.Config, app string, sc wavescalar.Scale, threads int) (*wavescalar.Stats, error) {
+	return wavescalar.RunWorkloadContext(context.Background(), app,
+		wavescalar.WithConfig(cfg), wavescalar.AtScale(sc), wavescalar.WithThreads(threads))
+}
+
 // BenchmarkTable1Baseline exercises the baseline configuration of Table 1:
 // one run of the fft kernel on the 1-cluster machine, reporting simulated
 // cycles per second.
@@ -25,7 +33,7 @@ func BenchmarkTable1Baseline(b *testing.B) {
 	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
+		st, err := runWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +95,7 @@ func benchSweep(b *testing.B, apps []wavescalar.Workload, threads []int, nPoints
 	}
 	var frontier []wavescalar.Evaluated
 	for i := 0; i < b.N; i++ {
-		results := wavescalar.Sweep(sub, apps, wavescalar.SweepOptions{
+		results := design.Sweep(sub, apps, wavescalar.SweepOptions{
 			Scale: wavescalar.ScaleTiny, ThreadCounts: threads,
 		})
 		for _, r := range results {
@@ -144,7 +152,7 @@ func BenchmarkFigure7ScalableDesigns(b *testing.B) {
 	}
 	var plan []design.ScaledPoint
 	for i := 0; i < b.N; i++ {
-		results := wavescalar.Sweep(sub, apps, wavescalar.SweepOptions{
+		results := design.Sweep(sub, apps, wavescalar.SweepOptions{
 			Scale: wavescalar.ScaleTiny, ThreadCounts: []int{1, 4, 16},
 		})
 		var err error
@@ -176,7 +184,7 @@ func BenchmarkFigure8Traffic(b *testing.B) {
 			var st *wavescalar.Stats
 			for i := 0; i < b.N; i++ {
 				var err error
-				st, err = wavescalar.RunWorkload(cfg, tc.app, wavescalar.ScaleTiny, tc.threads)
+				st, err = runWorkload(cfg, tc.app, wavescalar.ScaleTiny, tc.threads)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -195,11 +203,11 @@ func BenchmarkFigure8Traffic(b *testing.B) {
 // second over the first.
 func ablate(b *testing.B, app string, threads int, base, varied wavescalar.Config) (baseAIPC, variedAIPC float64) {
 	for i := 0; i < b.N; i++ {
-		s1, err := wavescalar.RunWorkload(base, app, wavescalar.ScaleTiny, threads)
+		s1, err := runWorkload(base, app, wavescalar.ScaleTiny, threads)
 		if err != nil {
 			b.Fatal(err)
 		}
-		s2, err := wavescalar.RunWorkload(varied, app, wavescalar.ScaleTiny, threads)
+		s2, err := runWorkload(varied, app, wavescalar.ScaleTiny, threads)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -302,11 +310,11 @@ func BenchmarkAblationPlacement(b *testing.B) {
 	scatter.Placement = place.PolicyScatter
 	var lShare, sShare float64
 	for i := 0; i < b.N; i++ {
-		s1, err := wavescalar.RunWorkload(local, "fft", wavescalar.ScaleTiny, 1)
+		s1, err := runWorkload(local, "fft", wavescalar.ScaleTiny, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		s2, err := wavescalar.RunWorkload(scatter, "fft", wavescalar.ScaleTiny, 1)
+		s2, err := runWorkload(scatter, "fft", wavescalar.ScaleTiny, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -325,7 +333,7 @@ func BenchmarkEnergyModel(b *testing.B) {
 		b.Run(app, func(b *testing.B) {
 			var epi float64
 			for i := 0; i < b.N; i++ {
-				st, err := wavescalar.RunWorkload(cfg, app, wavescalar.ScaleTiny, 1)
+				st, err := runWorkload(cfg, app, wavescalar.ScaleTiny, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -353,7 +361,7 @@ func BenchmarkMatchingCapacitySweep(b *testing.B) {
 			var aipc float64
 			var evictions uint64
 			for i := 0; i < b.N; i++ {
-				st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
+				st, err := runWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -376,7 +384,7 @@ func BenchmarkTracingDisabled(b *testing.B) {
 	cfg.Trace = nil
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
+		st, err := runWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -395,7 +403,7 @@ func BenchmarkTracingEnabled(b *testing.B) {
 		cfg := wavescalar.Baseline(arch)
 		rec := wavescalar.NewTraceRecorder(wavescalar.TraceOptions{})
 		cfg.Trace = rec
-		st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
+		st, err := runWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

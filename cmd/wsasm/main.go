@@ -35,9 +35,9 @@ func main() {
 	}
 	switch {
 	case *dump != "":
-		w, ok := workload.ByName(*dump)
-		if !ok {
-			fail(fmt.Errorf("unknown workload %q", *dump))
+		w, err := workload.ByName(*dump)
+		if err != nil {
+			fail(err)
 		}
 		inst := w.Build(workload.Tiny)
 		fmt.Print(wasm.Disassemble(inst.Prog))

@@ -221,7 +221,8 @@ func runCell(c cell, reps int) (Entry, error) {
 			var cycles uint64
 			for total < minWall {
 				start := time.Now()
-				s, err := wavescalar.RunWorkload(cfg, c.App, sc, c.Threads)
+				s, err := wavescalar.RunWorkloadContext(context.Background(), c.App,
+					wavescalar.WithConfig(cfg), wavescalar.AtScale(sc), wavescalar.WithThreads(c.Threads))
 				if err != nil {
 					return nil, 0, err
 				}
@@ -256,7 +257,8 @@ func runCell(c cell, reps int) (Entry, error) {
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
-	if _, err := wavescalar.RunWorkload(cfg, c.App, sc, c.Threads); err != nil {
+	if _, err := wavescalar.RunWorkloadContext(context.Background(), c.App,
+		wavescalar.WithConfig(cfg), wavescalar.AtScale(sc), wavescalar.WithThreads(c.Threads)); err != nil {
 		return Entry{}, err
 	}
 	runtime.ReadMemStats(&m1)

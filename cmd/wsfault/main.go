@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -151,7 +152,8 @@ func main() {
 	for i, sn := range scenarios {
 		runCfg := cfg
 		runCfg.Fault = sn.script
-		st, err := wavescalar.RunWorkload(runCfg, *app, sc, *threads)
+		st, err := wavescalar.RunWorkloadContext(context.Background(), *app,
+			wavescalar.WithConfig(runCfg), wavescalar.AtScale(sc), wavescalar.WithThreads(*threads))
 		rw := row{Label: sn.label, Fraction: sn.fraction}
 		if err != nil {
 			if i == 0 {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -73,7 +74,8 @@ func main() {
 		fmt.Printf("running %s (%s scale) with %d thread(s) on %s (%.1f mm2)\n\n",
 			*app, *scale, *threads, arch.String(), wavescalar.TotalArea(arch))
 	}
-	st, err := wavescalar.RunWorkload(cfg, *app, sc, *threads)
+	st, err := wavescalar.RunWorkloadContext(context.Background(), *app,
+		wavescalar.WithConfig(cfg), wavescalar.AtScale(sc), wavescalar.WithThreads(*threads))
 	if err != nil {
 		if errors.Is(err, wavescalar.ErrDeadlock) || errors.Is(err, wavescalar.ErrNotQuiesced) {
 			fmt.Fprintf(os.Stderr, "wsim: simulation did not complete: %v\n", err)

@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "splash2", "suite: spec2000, mediabench, splash2")
+	suite := flag.String("suite", "splash2", "suite: spec2000, mediabench, splash2, tiled")
 	scale := flag.String("scale", "tiny", "workload scale: tiny, small, medium")
 	scaling := flag.Bool("scaling", false, "run the Figure 7 scaled-design analysis")
 	maxPoints := flag.Int("max", 0, "evaluate at most this many designs (0 = all)")
@@ -258,6 +258,8 @@ func suiteOf(name string) (wavescalar.Suite, []wavescalar.Workload, []int, error
 	case "splash2":
 		return wavescalar.SuiteSplash, wavescalar.WorkloadsBySuite(wavescalar.SuiteSplash),
 			[]int{1, 4, 16, 64}, nil
+	case "tiled":
+		return wavescalar.SuiteTiled, wavescalar.WorkloadsBySuite(wavescalar.SuiteTiled), []int{1}, nil
 	}
 	return 0, nil, nil, fmt.Errorf("unknown suite %q", name)
 }

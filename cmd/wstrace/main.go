@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -62,7 +63,8 @@ func main() {
 
 	fmt.Printf("tracing %s (%s scale) with %d thread(s) on %s\n",
 		*app, *scale, *threads, arch.String())
-	st, err := wavescalar.RunWorkload(cfg, *app, sc, *threads)
+	st, err := wavescalar.RunWorkloadContext(context.Background(), *app,
+		wavescalar.WithConfig(cfg), wavescalar.AtScale(sc), wavescalar.WithThreads(*threads))
 	if err != nil {
 		fail(err)
 	}

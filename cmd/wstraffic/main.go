@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -85,7 +86,8 @@ func main() {
 			if th > inst.MaxThreads {
 				th = inst.MaxThreads
 			}
-			st, err := wavescalar.RunWorkload(cfg, w.Name, sc, th)
+			st, err := wavescalar.RunWorkloadContext(context.Background(), w.Name,
+				wavescalar.WithConfig(cfg), wavescalar.AtScale(sc), wavescalar.WithThreads(th))
 			if err != nil {
 				fail(fmt.Errorf("%s C=%d: %w", w.Name, c, err))
 			}

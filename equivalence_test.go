@@ -17,7 +17,7 @@ func runSched(t *testing.T, name string, mode wavescalar.SchedMode, threads int)
 	t.Helper()
 	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
 	cfg.Sched = mode
-	st, err := wavescalar.RunWorkload(cfg, name, wavescalar.ScaleTiny, threads)
+	st, err := runWorkload(cfg, name, wavescalar.ScaleTiny, threads)
 	if err != nil {
 		t.Fatalf("%s (sched=%d): %v", name, mode, err)
 	}
@@ -63,12 +63,12 @@ func TestSchedulerEquivalenceMultithreaded(t *testing.T) {
 			t.Parallel()
 			cfg := wavescalar.Baseline(arch)
 			cfg.Sched = wavescalar.SchedActiveSet
-			active, err := wavescalar.RunWorkload(cfg, name, wavescalar.ScaleTiny, 2)
+			active, err := runWorkload(cfg, name, wavescalar.ScaleTiny, 2)
 			if err != nil {
 				t.Fatal(err)
 			}
 			cfg.Sched = wavescalar.SchedFullScan
-			scan, err := wavescalar.RunWorkload(cfg, name, wavescalar.ScaleTiny, 2)
+			scan, err := runWorkload(cfg, name, wavescalar.ScaleTiny, 2)
 			if err != nil {
 				t.Fatal(err)
 			}

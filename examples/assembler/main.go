@@ -61,7 +61,8 @@ func main() {
 
 	// Then the full microarchitecture.
 	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
-	proc, err := wavescalar.NewProcessor(cfg, prog, []map[string]uint64{params}, nil)
+	proc, err := wavescalar.BuildProcessor(prog,
+		wavescalar.ProcConfig(cfg), wavescalar.ProcParams(params))
 	if err != nil {
 		log.Fatal(err)
 	}

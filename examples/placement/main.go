@@ -25,7 +25,9 @@ func main() {
 	run := func(policy place.Policy) *wavescalar.Stats {
 		cfg := wavescalar.Baseline(wavescalar.BaselineArch())
 		cfg.Placement = policy
-		proc, err := wavescalar.NewProcessor(cfg, inst.Prog, inst.Params(1), wavescalar.Memory(inst.Mem))
+		proc, err := wavescalar.BuildProcessor(inst.Prog,
+			wavescalar.ProcConfig(cfg), wavescalar.ProcParams(inst.Params(1)...),
+			wavescalar.ProcMemory(wavescalar.Memory(inst.Mem)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -45,7 +45,9 @@ func main() {
 	fmt.Printf("machine: %s (%.1f mm2 in 90nm by the Table 3 model)\n\n",
 		arch.String(), wavescalar.TotalArea(arch))
 
-	proc, err := wavescalar.NewProcessor(cfg, prog, []map[string]uint64{{"n": elems}}, mem)
+	proc, err := wavescalar.BuildProcessor(prog,
+		wavescalar.ProcConfig(cfg), wavescalar.ProcParams(map[string]uint64{"n": elems}),
+		wavescalar.ProcMemory(mem))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,8 @@ func main() {
 		cfg := wavescalar.Baseline(arch)
 		threads := clusters
 
-		st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, threads)
+		st, err := wavescalar.RunWorkloadContext(context.Background(), "fft",
+			wavescalar.WithConfig(cfg), wavescalar.WithThreads(threads))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,25 +8,17 @@ import (
 	"testing"
 
 	"wavescalar"
+	"wavescalar/internal/design"
 )
 
-// TestRunWorkloadContextMatchesDeprecated pins the API redesign contract:
-// the functional-options form and the deprecated positional form produce
-// identical results.
-func TestRunWorkloadContextMatchesDeprecated(t *testing.T) {
+// TestRunWorkloadContextDefaults pins the API contract: explicit baseline
+// options and the all-defaults form produce identical results.
+func TestRunWorkloadContextDefaults(t *testing.T) {
 	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
-	old, err := wavescalar.RunWorkload(cfg, "gzip", wavescalar.ScaleTiny, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	neu, err := wavescalar.RunWorkloadContext(context.Background(), "gzip",
+	explicit, err := wavescalar.RunWorkloadContext(context.Background(), "gzip",
 		wavescalar.WithConfig(cfg), wavescalar.AtScale(wavescalar.ScaleTiny), wavescalar.WithThreads(1))
 	if err != nil {
 		t.Fatal(err)
-	}
-	if old.AIPC() != neu.AIPC() || old.Cycles != neu.Cycles {
-		t.Errorf("deprecated and option forms diverge: AIPC %v vs %v, cycles %d vs %d",
-			old.AIPC(), neu.AIPC(), old.Cycles, neu.Cycles)
 	}
 
 	// Defaults: no options means baseline config, tiny scale, one thread.
@@ -34,8 +26,9 @@ func TestRunWorkloadContextMatchesDeprecated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if def.AIPC() != old.AIPC() {
-		t.Errorf("default options AIPC %v != explicit baseline %v", def.AIPC(), old.AIPC())
+	if def.AIPC() != explicit.AIPC() || def.Cycles != explicit.Cycles {
+		t.Errorf("default options diverge from explicit baseline: AIPC %v vs %v, cycles %d vs %d",
+			def.AIPC(), explicit.AIPC(), def.Cycles, explicit.Cycles)
 	}
 }
 
@@ -57,7 +50,10 @@ func TestRunWorkloadContextValidation(t *testing.T) {
 	}
 }
 
-func TestBuildProcessorMatchesNewProcessor(t *testing.T) {
+// TestBuildProcessorMatchesRunWorkload checks the two public entry points
+// agree: hand-building a processor from a workload instance produces the
+// same run as RunWorkloadContext over the same configuration.
+func TestBuildProcessorMatchesRunWorkload(t *testing.T) {
 	w, err := wavescalar.WorkloadByName("gzip")
 	if err != nil {
 		t.Fatal(err)
@@ -65,34 +61,30 @@ func TestBuildProcessorMatchesNewProcessor(t *testing.T) {
 	inst := w.Build(wavescalar.ScaleTiny)
 	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
 
-	oldProc, err := wavescalar.NewProcessor(cfg, inst.Prog, inst.Params(1), wavescalar.Memory(inst.Mem))
-	if err != nil {
-		t.Fatal(err)
-	}
-	oldStats, err := oldProc.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	newProc, err := wavescalar.BuildProcessor(inst.Prog,
+	proc, err := wavescalar.BuildProcessor(inst.Prog,
 		wavescalar.ProcConfig(cfg),
 		wavescalar.ProcParams(inst.Params(1)...),
 		wavescalar.ProcMemory(wavescalar.Memory(inst.Mem)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	newStats, err := newProc.RunContext(context.Background())
+	manual, err := proc.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if oldStats.AIPC() != newStats.AIPC() || oldStats.Cycles != newStats.Cycles {
-		t.Errorf("BuildProcessor diverges from NewProcessor: AIPC %v vs %v",
-			newStats.AIPC(), oldStats.AIPC())
+
+	ran, err := runWorkload(cfg, "gzip", wavescalar.ScaleTiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual.AIPC() != ran.AIPC() || manual.Cycles != ran.Cycles {
+		t.Errorf("BuildProcessor diverges from RunWorkloadContext: AIPC %v vs %v",
+			manual.AIPC(), ran.AIPC())
 	}
 }
 
 // TestNewExplorerRootAPI drives the re-exported engine end to end: sweep,
-// journal, resume, and agreement with the deprecated one-shot Sweep.
+// journal, resume, and agreement with the direct design.Sweep.
 func TestNewExplorerRootAPI(t *testing.T) {
 	points := wavescalar.ViableDesigns()[:2]
 	w, err := wavescalar.WorkloadByName("gzip")
@@ -125,11 +117,11 @@ func TestNewExplorerRootAPI(t *testing.T) {
 		t.Errorf("progress = %+v, want %d cells simulated", lastProg, len(points))
 	}
 
-	want := wavescalar.Sweep(points, apps, wavescalar.SweepOptions{
+	want := design.Sweep(points, apps, wavescalar.SweepOptions{
 		Scale: wavescalar.ScaleTiny, ThreadCounts: []int{1},
 	})
 	if !reflect.DeepEqual(got, want) {
-		t.Errorf("explorer results differ from deprecated Sweep:\ngot  %+v\nwant %+v", got, want)
+		t.Errorf("explorer results differ from direct design.Sweep:\ngot  %+v\nwant %+v", got, want)
 	}
 
 	// Resume from the journal: zero simulations.

@@ -62,8 +62,7 @@ func (c goldenCase) key() string {
 func TestGoldenStats(t *testing.T) {
 	got := make(map[string]string)
 	for _, c := range goldenCases(t) {
-		st, err := wavescalar.RunWorkload(
-			wavescalar.Baseline(wavescalar.BaselineArch()),
+		st, err := runWorkload(wavescalar.Baseline(wavescalar.BaselineArch()),
 			c.name, wavescalar.ScaleTiny, c.threads)
 		if err != nil {
 			t.Fatalf("%s (%d threads): %v", c.name, c.threads, err)

@@ -40,9 +40,9 @@ func TestWriteJSONConvention(t *testing.T) {
 }
 
 func TestTrafficRowShares(t *testing.T) {
-	w, ok := workload.ByName("fft")
-	if !ok {
-		t.Fatal("fft missing")
+	w, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
 	}
 	var st sim.Stats
 	st.Traffic[sim.LevelSelf][sim.ClassOperand] = 75

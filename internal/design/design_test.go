@@ -184,9 +184,9 @@ func TestMaxRatio(t *testing.T) {
 
 func mustWorkload(t *testing.T, name string) workload.Workload {
 	t.Helper()
-	w, ok := workload.ByName(name)
-	if !ok {
-		t.Fatalf("workload %q missing", name)
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return w
 }

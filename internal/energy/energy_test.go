@@ -11,9 +11,9 @@ import (
 
 func runStats(t *testing.T, arch area.Params) *sim.Stats {
 	t.Helper()
-	w, ok := workload.ByName("fft")
-	if !ok {
-		t.Fatal("fft missing")
+	w, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
 	}
 	inst := w.Build(workload.Tiny)
 	cfg := sim.Baseline(arch)

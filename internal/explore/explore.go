@@ -251,6 +251,12 @@ type SweepSpec struct {
 	// Progress overrides WithProgress when non-nil, letting concurrent
 	// sweeps report progress independently.
 	Progress func(Progress)
+	// Configure overrides the explorer's point-to-config mapping when
+	// non-nil. Scenario sweeps use this to fold a fault script into every
+	// evaluated configuration; because the script lands in each cell's
+	// Config, its digest is part of every CellKey and faulty results never
+	// collide with clean ones.
+	Configure design.ConfigureFunc
 }
 
 // Sweep evaluates every design point on every workload, in the same shape
@@ -277,9 +283,13 @@ func (e *Explorer) SweepWith(ctx context.Context, points []design.Point, apps []
 	if spec.Progress != nil {
 		progress = spec.Progress
 	}
+	configure := e.configure
+	if spec.Configure != nil {
+		configure = spec.Configure
+	}
 	if err := (design.SweepOptions{
 		Scale: scale, ThreadCounts: threadCounts,
-		Parallelism: e.parallelism, Configure: e.configure,
+		Parallelism: e.parallelism, Configure: configure,
 	}).Validate(); err != nil {
 		return nil, err
 	}
@@ -293,7 +303,7 @@ func (e *Explorer) SweepWith(ctx context.Context, points []design.Point, apps []
 	configs := make([]sim.Config, len(points))
 	keys := make([][]string, len(points))
 	for pi, pt := range points {
-		configs[pi] = e.configure(pt)
+		configs[pi] = configure(pt)
 		keys[pi] = make([]string, len(apps))
 		for ai, w := range apps {
 			keys[pi][ai] = CellKey(configs[pi], w.Name, scale, threadCounts)

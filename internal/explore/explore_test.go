@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"wavescalar/internal/design"
+	"wavescalar/internal/fault"
 	"wavescalar/internal/sim"
 	"wavescalar/internal/workload"
 )
@@ -27,9 +28,9 @@ func testApps(t *testing.T, names ...string) []workload.Workload {
 	t.Helper()
 	var out []workload.Workload
 	for _, n := range names {
-		w, ok := workload.ByName(n)
-		if !ok {
-			t.Fatalf("workload %q missing", n)
+		w, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
 		}
 		out = append(out, w)
 	}
@@ -109,6 +110,68 @@ func TestSweepCacheHitDeterminism(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("cached results differ from simulated results:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSweepConfigureOverride: a per-sweep Configure (the hook scenario
+// sweeps use to fold a fault script into every design point) must change
+// every cell key — configured and baseline sweeps own disjoint slices of
+// the shared cache.
+func TestSweepConfigureOverride(t *testing.T) {
+	points := testPoints(t, 2)
+	apps := testApps(t, "gzip")
+	cache := NewCache()
+	script := &fault.Script{Seed: 11, LinkFlipRate: 0.001}
+
+	exp, err := New(WithCache(cache), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.SweepWith(context.Background(), points, apps, SweepSpec{
+		Scale: workload.Tiny, ThreadCounts: []int{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	base := exp.LastProgress()
+	if base.Simulated != len(points) {
+		t.Fatalf("baseline sweep simulated %d, want %d", base.Simulated, len(points))
+	}
+
+	faulty, err := exp.SweepWith(context.Background(), points, apps, SweepSpec{
+		Scale: workload.Tiny, ThreadCounts: []int{1},
+		Configure: func(pt design.Point) sim.Config {
+			cfg := design.BaselineConfigure(pt)
+			cfg.Fault = script
+			return cfg
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := exp.LastProgress()
+	if p.CacheHits != 0 || p.Simulated != len(points) {
+		t.Errorf("configured sweep hit the baseline cache: %+v", p)
+	}
+	for _, r := range faulty {
+		if r.Err != nil {
+			t.Errorf("configured sweep point %s failed: %v", r.Arch, r.Err)
+		}
+	}
+
+	// Re-running the configured sweep is a pure cache hit: the override
+	// participates in cell keys deterministically.
+	if _, err := exp.SweepWith(context.Background(), points, apps, SweepSpec{
+		Scale: workload.Tiny, ThreadCounts: []int{1},
+		Configure: func(pt design.Point) sim.Config {
+			cfg := design.BaselineConfigure(pt)
+			cfg.Fault = script
+			return cfg
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := exp.LastProgress(); p.Simulated != 0 {
+		t.Errorf("repeat configured sweep simulated %d cells, want 0", p.Simulated)
 	}
 }
 
@@ -327,9 +390,9 @@ func TestNewValidatesOptions(t *testing.T) {
 
 func TestTuneCachesThroughJournal(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tune.jsonl")
-	w, ok := workload.ByName("gzip")
-	if !ok {
-		t.Fatal("gzip missing")
+	w, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
 	}
 	opt := design.DefaultTuneOptions()
 	opt.Ks = []int{1, 2}

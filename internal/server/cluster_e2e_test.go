@@ -168,6 +168,40 @@ func TestClusterSmoke(t *testing.T) {
 	}
 }
 
+// TestClusterScenarioSweep shards a scenario sweep (with a fault script
+// folded into every design point) across the fabric and requires the
+// result to be byte-identical to the same sweep on a single-node daemon —
+// scenario cells travel the dispatch protocol like any others.
+func TestClusterScenarioSweep(t *testing.T) {
+	const sweepBody = `{"max_points":4,"scenario":{"scenario":"v1","scale":"tiny","threads":[1],
+		"fault":{"seed":3,"link_flip_rate":0.0005},"phases":[
+		{"name":"a","workload":{"gemm":{"order":"os","tm":4,"tn":4,"tk":4}}},
+		{"name":"b","workload":{"name":"fft"}}]}}`
+
+	_, single := newTestServer(t)
+	want := sweepResult(t, single.URL, sweepBody, nil)
+
+	coordSrv, coord := newTestServer(t,
+		WithRole(RoleCoordinator),
+		WithClusterOptions(cluster.Options{
+			Lease:       500 * time.Millisecond,
+			Attempts:    3,
+			Backoff:     5 * time.Millisecond,
+			ExecTimeout: time.Minute,
+		}),
+	)
+	_, w1 := newTestServer(t, WithRole(RoleWorker))
+	registerWorker(t, coord.URL, "w1", w1.URL)
+
+	got := sweepResult(t, coord.URL, sweepBody, nil)
+	if string(got) != string(want) {
+		t.Errorf("fabric scenario sweep differs from single-node:\n%s\nvs\n%s", got, want)
+	}
+	if st := coordSrv.coord.Stats(); st.RemoteCells == 0 {
+		t.Errorf("fabric was never used: stats %+v", st)
+	}
+}
+
 // TestClusterExecuteEndpoint drives the worker half of the protocol
 // directly: a valid request simulates and returns the requested key, a
 // repeat is served from cache, and a drifted key is refused with 409.

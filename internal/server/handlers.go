@@ -38,6 +38,8 @@ func (s *Server) routes() *http.ServeMux {
 	handle("GET /v1/designs", s.handleDesigns)
 	handle("POST /v1/runs", s.handleRun)
 	handle("POST /v1/sweeps", s.handleSweep)
+	handle("POST /v1/scenarios", s.handleScenarioPost)
+	handle("GET /v1/scenarios/{digest}", s.handleScenarioGet)
 	handle("GET /v1/jobs/{id}", s.handleJobGet)
 	handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	// Fabric endpoints. execute is served in every role ("any node can
@@ -64,16 +66,18 @@ func (s *Server) retryAfterValue() string {
 }
 
 // writeAdmissionErr maps an admission failure (full queue, over-quota
-// tenant, shutdown) onto the API's backpressure responses.
+// tenant, shutdown) onto the API's backpressure responses. The two 429
+// causes carry distinct machine-readable codes so clients can tell
+// "the daemon is saturated" from "my tenant is over quota".
 func (s *Server) writeAdmissionErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		s.metrics.add(&s.metrics.rejectedFull, 1)
 		w.Header().Set("Retry-After", s.retryAfterValue())
-		writeErr(w, http.StatusTooManyRequests, "admission queue full; retry")
+		writeErrCode(w, http.StatusTooManyRequests, "queue_full", "admission queue full; retry")
 	case errors.Is(err, errQuotaExceeded):
 		w.Header().Set("Retry-After", s.retryAfterValue())
-		writeErr(w, http.StatusTooManyRequests, "tenant quota exceeded; retry")
+		writeErrCode(w, http.StatusTooManyRequests, "quota_exceeded", "tenant quota exceeded; retry")
 	default:
 		writeErr(w, http.StatusServiceUnavailable, "shutting down")
 	}
@@ -148,9 +152,45 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	cli.WriteJSON(w, v)
 }
 
-// writeErr responds with the API's uniform error shape.
+// apiError is the API's uniform error envelope: every non-2xx response
+// body is {"error":{"code","message"}}, where code is a stable
+// machine-readable slug and message is for humans.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errCode maps an HTTP status to its default error code. Handlers that
+// need a more specific code (queue_full vs quota_exceeded, both 429) use
+// writeErrCode directly.
+func errCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "too_many_requests"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
+}
+
+// writeErr responds with the API's uniform error envelope, deriving the
+// code from the status.
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeErrCode(w, code, errCode(code), fmt.Sprintf(format, args...))
+}
+
+// writeErrCode responds with an explicit error code.
+func writeErrCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]apiError{"error": {Code: code, Message: msg}})
 }
 
 // archSpec is the request-side architecture description: any subset of
@@ -194,14 +234,17 @@ func (a *archSpec) resolve() (sim.Config, error) {
 	return cfg, nil
 }
 
-// runRequest is the body of POST /v1/runs.
+// runRequest is the body of POST /v1/runs. Either workload (+ scale,
+// threads, fault) or scenario is set: scenario is a stored digest string
+// or an inline scenario document and carries those axes itself.
 type runRequest struct {
-	Workload string        `json:"workload"`
-	Scale    string        `json:"scale,omitempty"`     // default "tiny"
-	Threads  int           `json:"threads,omitempty"`   // default 1
-	Config   *archSpec     `json:"config,omitempty"`    // default Table 1 baseline
-	Fault    *fault.Script `json:"fault,omitempty"`     // optional fault-injection script
-	TimeoutS float64       `json:"timeout_s,omitempty"` // wait bound; default server-wide
+	Workload string          `json:"workload,omitempty"`
+	Scale    string          `json:"scale,omitempty"`     // default "tiny"
+	Threads  int             `json:"threads,omitempty"`   // default 1
+	Config   *archSpec       `json:"config,omitempty"`    // default Table 1 baseline
+	Fault    *fault.Script   `json:"fault,omitempty"`     // optional fault-injection script
+	Scenario json.RawMessage `json:"scenario,omitempty"`  // digest string or inline document
+	TimeoutS float64         `json:"timeout_s,omitempty"` // wait bound; default server-wide
 }
 
 // runResult is the deterministic payload of one measurement — derived
@@ -241,13 +284,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if req.Workload == "" {
-		writeErr(w, http.StatusBadRequest, "workload is required")
+	if len(req.Scenario) > 0 {
+		s.handleScenarioRun(w, r, &req)
 		return
 	}
-	wl, ok := workload.ByName(req.Workload)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown workload %q", req.Workload)
+	if req.Workload == "" {
+		writeErr(w, http.StatusBadRequest, "workload or scenario is required")
+		return
+	}
+	wl, err := workload.ByName(req.Workload)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	scaleName := req.Scale
@@ -326,14 +373,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// sweepRequest is the body of POST /v1/sweeps: a suite (or explicit app
-// list) evaluated over the viable design space, optionally subsampled.
+// sweepRequest is the body of POST /v1/sweeps: a suite, explicit app
+// list, or scenario evaluated over the viable design space, optionally
+// subsampled. A scenario supplies apps, scale, thread counts and fault
+// script itself (and must be uniform across its phases).
 type sweepRequest struct {
-	Suite        string   `json:"suite,omitempty"`
-	Apps         []string `json:"apps,omitempty"`
-	Scale        string   `json:"scale,omitempty"`         // default "tiny"
-	ThreadCounts []int    `json:"thread_counts,omitempty"` // default {1}; splash2 defaults to {1,4,16,64}
-	MaxPoints    int      `json:"max_points,omitempty"`    // 0 = every viable design
+	Suite        string          `json:"suite,omitempty"`
+	Apps         []string        `json:"apps,omitempty"`
+	Scenario     json.RawMessage `json:"scenario,omitempty"`      // digest string or inline document
+	Scale        string          `json:"scale,omitempty"`         // default "tiny"
+	ThreadCounts []int           `json:"thread_counts,omitempty"` // default {1}; splash2 defaults to {1,4,16,64}
+	MaxPoints    int             `json:"max_points,omitempty"`    // 0 = every viable design
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -345,49 +395,74 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var apps []workload.Workload
-	switch {
-	case len(req.Apps) > 0:
-		for _, name := range req.Apps {
-			wl, ok := workload.ByName(name)
+	var (
+		apps      []workload.Workload
+		sc        workload.Scale
+		counts    []int
+		configure design.ConfigureFunc
+	)
+	if len(req.Scenario) > 0 {
+		if req.Suite != "" || len(req.Apps) > 0 || req.Scale != "" || len(req.ThreadCounts) > 0 {
+			writeErr(w, http.StatusBadRequest,
+				"scenario is mutually exclusive with suite, apps, scale and thread_counts (the scenario carries them)")
+			return
+		}
+		scn, status, err := s.resolveScenario(req.Scenario)
+		if err != nil {
+			writeErr(w, status, "%v", err)
+			return
+		}
+		plan, err := scenarioSweepPlan(scn)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		apps, sc, counts, configure = plan.apps, plan.scale, plan.threads, plan.configure()
+	} else {
+		switch {
+		case len(req.Apps) > 0:
+			for _, name := range req.Apps {
+				wl, err := workload.ByName(name)
+				if err != nil {
+					writeErr(w, http.StatusNotFound, "%v", err)
+					return
+				}
+				apps = append(apps, wl)
+			}
+		case req.Suite != "":
+			suite, ok := suiteByName(req.Suite)
 			if !ok {
-				writeErr(w, http.StatusNotFound, "unknown workload %q", name)
+				writeErr(w, http.StatusBadRequest, "unknown suite %q (spec2000, mediabench, splash2, tiled)", req.Suite)
 				return
 			}
-			apps = append(apps, wl)
-		}
-	case req.Suite != "":
-		suite, ok := suiteByName(req.Suite)
-		if !ok {
-			writeErr(w, http.StatusBadRequest, "unknown suite %q (spec2000, mediabench, splash2)", req.Suite)
+			apps = workload.BySuite(suite)
+		default:
+			writeErr(w, http.StatusBadRequest, "suite, apps or scenario is required")
 			return
 		}
-		apps = workload.BySuite(suite)
-	default:
-		writeErr(w, http.StatusBadRequest, "suite or apps is required")
-		return
-	}
 
-	scaleName := req.Scale
-	if scaleName == "" {
-		scaleName = "tiny"
-	}
-	sc, err := cli.ParseScale(scaleName)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	counts := req.ThreadCounts
-	if len(counts) == 0 {
-		counts = []int{1}
-		if req.Suite == "splash2" {
-			counts = []int{1, 4, 16, 64}
+		scaleName := req.Scale
+		if scaleName == "" {
+			scaleName = "tiny"
 		}
-	}
-	for _, n := range counts {
-		if n < 1 {
-			writeErr(w, http.StatusBadRequest, "thread count %d must be positive", n)
+		var err error
+		sc, err = cli.ParseScale(scaleName)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
+		}
+		counts = req.ThreadCounts
+		if len(counts) == 0 {
+			counts = []int{1}
+			if req.Suite == "splash2" {
+				counts = []int{1, 4, 16, 64}
+			}
+		}
+		for _, n := range counts {
+			if n < 1 {
+				writeErr(w, http.StatusBadRequest, "thread count %d must be positive", n)
+				return
+			}
 		}
 	}
 	points := design.Viable()
@@ -402,7 +477,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	jb := &job{
 		kind:  "sweep",
-		sweep: &sweepSpec{points: points, apps: apps, scale: sc, threadCounts: counts},
+		sweep: &sweepSpec{points: points, apps: apps, scale: sc, threadCounts: counts, configure: configure},
 		ctx:   ctx, cancel: cancel,
 		state: stateQueued,
 	}
@@ -432,7 +507,7 @@ func subsample(pts []design.Point, n int) []design.Point {
 }
 
 func suiteByName(name string) (workload.Suite, bool) {
-	for _, su := range []workload.Suite{workload.Spec, workload.Media, workload.Splash} {
+	for _, su := range workload.Suites() {
 		if su.String() == name {
 			return su, true
 		}
@@ -515,11 +590,34 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": state, "status": "cancel requested"})
 }
 
+// workloadRow is one entry of the structured GET /v1/workloads listing.
+// Tiled kernels additionally expose their decomposed tiling parameters,
+// so clients can enumerate the tiling axes of the design space without
+// parsing names.
+type workloadRow struct {
+	Name   string      `json:"name"`
+	Suite  string      `json:"suite"`
+	Scales []string    `json:"scales"`
+	Tiling *tilingInfo `json:"tiling,omitempty"`
+}
+
+type tilingInfo struct {
+	Family string `json:"family"` // "gemm" or "conv"
+	Order  string `json:"order"`  // dataflow order, e.g. "os", "ws"
+	Tile   [3]int `json:"tile"`   // gemm: Tm×Tn×Tk; conv: Tx×Ty×Tc
+}
+
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	all := workload.All()
-	rows := make([]map[string]string, len(all))
+	rows := make([]workloadRow, len(all))
 	for i, wl := range all {
-		rows[i] = map[string]string{"name": wl.Name, "suite": wl.Suite.String()}
+		rows[i] = workloadRow{
+			Name: wl.Name, Suite: wl.Suite.String(),
+			Scales: []string{"tiny", "small", "medium"},
+		}
+		if family, order, tile, ok := workload.TiledInfo(wl.Name); ok {
+			rows[i].Tiling = &tilingInfo{Family: family, Order: order, Tile: tile}
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "workloads": rows})
 }
@@ -649,9 +747,9 @@ func (s *Server) handleClusterExecute(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "key is required")
 		return
 	}
-	wl, ok := workload.ByName(req.App)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown workload %q", req.App)
+	wl, err := workload.ByName(req.App)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	req.Config.Trace = nil

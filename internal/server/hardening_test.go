@@ -84,12 +84,12 @@ func TestRunFaultValidation(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			resp := post(t, ts.URL+"/v1/runs", tc.body)
-			body := decode[map[string]string](t, resp)
+			apiErr := errEnvelope(t, resp)
 			if resp.StatusCode != http.StatusBadRequest {
-				t.Errorf("status %d, want 400 (%v)", resp.StatusCode, body)
+				t.Errorf("status %d, want 400 (%+v)", resp.StatusCode, apiErr)
 			}
-			if body["error"] == "" {
-				t.Error("error payload missing")
+			if apiErr.Code != "bad_request" || apiErr.Message == "" {
+				t.Errorf("error envelope incomplete: %+v", apiErr)
 			}
 		})
 	}

@@ -40,18 +40,22 @@ type runSpec struct {
 	threadCounts []int
 }
 
-// sweepSpec is the resolved work of one POST /v1/sweeps.
+// sweepSpec is the resolved work of one POST /v1/sweeps. configure, when
+// non-nil, overrides the explorer's point→config mapping (scenario sweeps
+// use it to fold a fault script into every design point).
 type sweepSpec struct {
 	points       []design.Point
 	apps         []workload.Workload
 	scale        workload.Scale
 	threadCounts []int
+	configure    design.ConfigureFunc
 }
 
 // job is one unit of queued work: a synchronous run (completed through
-// its flight call) or an asynchronous sweep (tracked in the job registry).
+// its flight call), a synchronous multi-phase scenario run, or an
+// asynchronous sweep (tracked in the job registry).
 type job struct {
-	kind string // "run" or "sweep"
+	kind string // "run", "scenario" or "sweep"
 	// tenant is the admission-quota bucket this job occupies until it
 	// resolves ("" when quotas are disabled or the job never acquired).
 	tenant string
@@ -60,6 +64,9 @@ type job struct {
 	key  string
 	call *flightCall
 	run  *runSpec
+
+	// Scenario jobs: the ordered phases and their completion channel.
+	scn *scenarioSpec
 
 	// Sweep jobs: identity, per-job cancellation and observable state.
 	id     string

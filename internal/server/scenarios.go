@@ -1,0 +1,343 @@
+// Scenario endpoints: POST /v1/scenarios stores validated scenario
+// documents content-addressed by digest, and runs/sweeps accept either a
+// stored digest or an inline document wherever a workload could go.
+//
+// A scenario never invents a new cache-key schema. Each phase lowers to
+// an ordinary (config, workload, scale, threads) cell whose key is
+// explore.CellKey — the same key a direct Go invocation or a plain
+// /v1/runs request would compute — so the cache, journal, singleflight
+// and cluster fabric serve scenario traffic unchanged, and a scenario
+// re-run is a pure cache hit.
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"wavescalar/internal/area"
+	"wavescalar/internal/design"
+	"wavescalar/internal/explore"
+	"wavescalar/internal/fault"
+	"wavescalar/internal/scenario"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// scenarioResponse is the wire form of a stored scenario.
+type scenarioResponse struct {
+	Digest  string `json:"digest"`
+	Created bool   `json:"created"`
+	Name    string `json:"name,omitempty"`
+	Phases  int    `json:"phases"`
+}
+
+// handleScenarioPost validates and stores one scenario document. Storage
+// is content-addressed: re-posting an identical document (any formatting)
+// answers created=false with the same digest — the dedup signal clients
+// and CI rely on.
+func (s *Server) handleScenarioPost(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	sc, err := scenario.Parse(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	phases, err := sc.ResolvePhases()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	digest := sc.Digest()
+	s.scnMu.Lock()
+	_, exists := s.scenarios[digest]
+	if !exists {
+		s.scenarios[digest] = sc
+	}
+	s.scnMu.Unlock()
+	status := http.StatusOK
+	if !exists {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, scenarioResponse{
+		Digest: digest, Created: !exists, Name: sc.Name, Phases: len(phases),
+	})
+}
+
+func (s *Server) handleScenarioGet(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	s.scnMu.Lock()
+	sc, ok := s.scenarios[digest]
+	s.scnMu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown scenario %q", digest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"digest": digest, "scenario": sc})
+}
+
+// resolveScenario turns the "scenario" field of a run or sweep request —
+// a digest string referencing a stored document, or an inline document —
+// into a parsed scenario. The returned status is meaningful only on
+// error.
+func (s *Server) resolveScenario(raw json.RawMessage) (*scenario.Scenario, int, error) {
+	var digest string
+	if err := json.Unmarshal(raw, &digest); err == nil {
+		s.scnMu.Lock()
+		sc, ok := s.scenarios[digest]
+		s.scnMu.Unlock()
+		if !ok {
+			return nil, http.StatusNotFound, &scenarioRefError{digest}
+		}
+		return sc, 0, nil
+	}
+	sc, err := scenario.Parse(raw)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return sc, 0, nil
+}
+
+type scenarioRefError struct{ digest string }
+
+func (e *scenarioRefError) Error() string {
+	return "unknown scenario " + e.digest + " (POST the document to /v1/scenarios first, or inline it)"
+}
+
+// scenarioPhaseSpec is one phase lowered to a runnable cell: the same
+// (config, workload, scale, threads) tuple a plain run carries, so key
+// computation and execution are shared verbatim.
+type scenarioPhaseSpec struct {
+	name      string
+	cfg       sim.Config
+	w         workload.Workload
+	scale     workload.Scale
+	scaleName string
+	threads   []int
+	key       string
+}
+
+// scenarioSpec is the resolved work of one scenario run: phases execute
+// in order on a pool worker, each through the explorer's cache/journal
+// write-through. Only the worker writes results/cached/err, and only
+// after done closes do waiters read them — no lock needed.
+type scenarioSpec struct {
+	phases  []scenarioPhaseSpec
+	done    chan struct{}
+	results []explore.Cell
+	cached  []bool
+	err     error
+}
+
+// lowerScenario resolves the scenario's phases against a base
+// configuration: phase fault scripts are validated against the machine
+// shape and folded into per-phase configs, and every phase gets its cell
+// key — the fault digest inside the config keeps faulty phases from
+// colliding with clean ones.
+func lowerScenario(sc *scenario.Scenario, base sim.Config) ([]scenarioPhaseSpec, error) {
+	phases, err := sc.ResolvePhases()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]scenarioPhaseSpec, len(phases))
+	for i, ph := range phases {
+		cfg := base
+		if !ph.Fault.Empty() {
+			if err := ph.Fault.Validate(sim.FaultShape(cfg)); err != nil {
+				return nil, err
+			}
+			cfg.Fault = ph.Fault
+		}
+		specs[i] = scenarioPhaseSpec{
+			name: ph.Name, cfg: cfg, w: ph.Workload,
+			scale: ph.Scale, scaleName: ph.ScaleName, threads: ph.Threads,
+			key: explore.CellKey(cfg, ph.Workload.Name, ph.Scale, ph.Threads),
+		}
+	}
+	return specs, nil
+}
+
+// scenarioPhaseResult is one phase's outcome in a scenario run response.
+type scenarioPhaseResult struct {
+	Phase  string    `json:"phase"`
+	Key    string    `json:"key"`
+	Cached bool      `json:"cached"`
+	Result runResult `json:"result"`
+}
+
+type scenarioRunResponse struct {
+	Scenario string                `json:"scenario"`
+	Cached   bool                  `json:"cached"` // every phase served from cache
+	Phases   []scenarioPhaseResult `json:"phases"`
+}
+
+// handleScenarioRun serves POST /v1/runs bodies that reference a
+// scenario. The scenario carries workload, scale, threads and fault, so
+// the plain per-run fields must be absent; only the machine config and
+// timeout still come from the request.
+func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request, req *runRequest) {
+	if req.Workload != "" || req.Scale != "" || req.Threads != 0 || req.Fault != nil {
+		writeErr(w, http.StatusBadRequest,
+			"scenario is mutually exclusive with workload, scale, threads and fault (the scenario carries them)")
+		return
+	}
+	sc, status, err := s.resolveScenario(req.Scenario)
+	if err != nil {
+		writeErr(w, status, "%v", err)
+		return
+	}
+	cfg, err := req.Config.resolve()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad config: %v", err)
+		return
+	}
+	specs, err := lowerScenario(sc, cfg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	digest := sc.Digest()
+	areaMM2 := area.Total(cfg.Arch)
+
+	respond := func(cells []explore.Cell, cached []bool) {
+		resp := scenarioRunResponse{Scenario: digest, Cached: true}
+		for i, spec := range specs {
+			if !cached[i] {
+				resp.Cached = false
+			}
+			resp.Phases = append(resp.Phases, scenarioPhaseResult{
+				Phase: spec.name, Key: spec.key, Cached: cached[i],
+				Result: cellResult(cells[i], areaMM2, spec.scaleName),
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+
+	// Fast path: every phase already in the cache (memory or replayed
+	// journal) — a scenario re-run costs zero simulation.
+	cells := make([]explore.Cell, len(specs))
+	cached := make([]bool, len(specs))
+	hit := 0
+	for i, spec := range specs {
+		if cell, ok := s.cache.Cell(spec.key); ok {
+			cells[i], cached[i] = cell, true
+			hit++
+		}
+	}
+	if hit == len(specs) {
+		respond(cells, cached)
+		return
+	}
+	if s.isClosing() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+
+	jb := &job{
+		kind: "scenario",
+		scn:  &scenarioSpec{phases: specs, done: make(chan struct{})},
+	}
+	if err := s.admit(r, jb); err != nil {
+		s.writeAdmissionErr(w, err)
+		return
+	}
+	timeout := s.requestTimeout
+	if req.TimeoutS > 0 {
+		timeout = time.Duration(req.TimeoutS * float64(time.Second))
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-jb.scn.done:
+		if jb.scn.err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v", jb.scn.err)
+			return
+		}
+		respond(jb.scn.results, jb.scn.cached)
+	case <-timer.C:
+		// Phases keep running and land in the cache; a retry after they
+		// complete is a pure cache hit.
+		writeErr(w, http.StatusGatewayTimeout, "deadline exceeded waiting for scenario; retry later for the cached result")
+	case <-r.Context().Done():
+		writeErr(w, http.StatusGatewayTimeout, "caller gave up; the scenario continues and will be cached")
+	}
+}
+
+// scenarioSweep is the sweep a scenario defines: the distinct phase
+// workloads as the app list, plus the (required uniform) scale, thread
+// counts and fault script.
+type scenarioSweep struct {
+	apps    []workload.Workload
+	scale   workload.Scale
+	threads []int
+	script  *fault.Script
+}
+
+// scenarioSweepPlan extracts the sweep axes from a scenario. Per-phase
+// scale/thread/fault overrides would make each phase a different sweep —
+// reject them here rather than silently evaluating only one.
+func scenarioSweepPlan(sc *scenario.Scenario) (scenarioSweep, error) {
+	phases, err := sc.ResolvePhases()
+	if err != nil {
+		return scenarioSweep{}, err
+	}
+	first := phases[0]
+	for _, ph := range phases[1:] {
+		if ph.Scale != first.Scale || !equalInts(ph.Threads, first.Threads) || ph.Fault.Digest() != first.Fault.Digest() {
+			return scenarioSweep{}, errScenarioSweep
+		}
+	}
+	plan := scenarioSweep{scale: first.Scale, threads: first.Threads, script: first.Fault}
+	seen := map[string]bool{}
+	for _, ph := range phases {
+		if !seen[ph.Workload.Name] {
+			seen[ph.Workload.Name] = true
+			plan.apps = append(plan.apps, ph.Workload)
+		}
+	}
+	return plan, nil
+}
+
+var errScenarioSweep = &scenarioSweepError{}
+
+type scenarioSweepError struct{}
+
+func (*scenarioSweepError) Error() string {
+	return "scenario sweeps need a uniform scale, threads and fault across phases (per-phase overrides describe different sweeps)"
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// configure returns the sweep's ConfigureFunc: nil (baseline) without a
+// fault script, otherwise a wrapper folding the script into every design
+// point's configuration. The script lands in each cell's Config, so its
+// digest is part of every CellKey — faulty sweep results never collide
+// with clean ones in the cache, the journal, or the fabric. Scripts are
+// not shape-checked here (design points differ in shape); the simulator
+// validates at processor build and surfaces a per-cell error.
+func (p scenarioSweep) configure() design.ConfigureFunc {
+	if p.script.Empty() {
+		return nil
+	}
+	script := p.script
+	return func(pt design.Point) sim.Config {
+		cfg := design.BaselineConfigure(pt)
+		cfg.Fault = script
+		return cfg
+	}
+}

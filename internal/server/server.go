@@ -42,6 +42,7 @@ import (
 	"wavescalar/internal/cluster"
 	"wavescalar/internal/design"
 	"wavescalar/internal/explore"
+	"wavescalar/internal/scenario"
 )
 
 // Role selects how a daemon participates in the distributed sweep
@@ -225,6 +226,11 @@ type Server struct {
 	jobs    *registry
 	queue   chan *job
 
+	// The content-addressed scenario store behind POST /v1/scenarios:
+	// digest (scenario.Digest) → validated document.
+	scnMu     sync.Mutex
+	scenarios map[string]*scenario.Scenario
+
 	admitMu sync.Mutex
 	closing bool
 
@@ -249,6 +255,7 @@ func New(opts ...Option) (*Server, error) {
 		metrics:        newMetrics(),
 		flight:         newFlightGroup(),
 		jobs:           newRegistry(),
+		scenarios:      make(map[string]*scenario.Scenario),
 		start:          time.Now(),
 	}
 	for _, o := range opts {
@@ -353,6 +360,10 @@ func (s *Server) rejectQueued(jb *job) {
 	case "run":
 		s.metrics.add(&s.metrics.simsCancelled, 1)
 		s.flight.complete(jb.key, jb.call, explore.Cell{}, errShuttingDown)
+	case "scenario":
+		s.metrics.add(&s.metrics.simsCancelled, 1)
+		jb.scn.err = errShuttingDown
+		close(jb.scn.done)
 	case "sweep":
 		s.metrics.add(&s.metrics.jobsCancelled, 1)
 		jb.finish(nil, errShuttingDown, true)
@@ -392,12 +403,45 @@ func (s *Server) execute(jb *job) {
 		}
 		s.flight.complete(jb.key, jb.call, cell, nil)
 
+	case "scenario":
+		// Phases run in order through the same RunOne pipeline as plain
+		// runs: cache fast path, journal write-through, shared metrics.
+		// Per-phase dedup against concurrent identical runs comes from the
+		// cache (a phase cell simulated by anyone is a hit for everyone).
+		spec := jb.scn
+		spec.results = make([]explore.Cell, len(spec.phases))
+		spec.cached = make([]bool, len(spec.phases))
+		for i, ph := range spec.phases {
+			cell, cached, err := s.exp.RunOne(s.baseCtx, ph.cfg, ph.w, ph.scale, ph.threads)
+			if cell.Key == "" {
+				s.metrics.add(&s.metrics.simsCancelled, 1)
+				spec.err = errShuttingDown
+				break
+			}
+			if err != nil {
+				s.metrics.add(&s.metrics.journalErrors, 1)
+			}
+			if !cached {
+				if !ph.cfg.Fault.Empty() {
+					s.metrics.add(&s.metrics.faultSims, 1)
+				}
+				if cell.Err != "" {
+					s.metrics.add(&s.metrics.simsFailed, 1)
+				} else {
+					s.metrics.add(&s.metrics.simsCompleted, 1)
+				}
+			}
+			spec.results[i], spec.cached[i] = cell, cached
+		}
+		close(spec.done)
+
 	case "sweep":
 		jb.setState(stateRunning)
 		spec := jb.sweep
 		results, err := s.exp.SweepWith(jb.ctx, spec.points, spec.apps, explore.SweepSpec{
 			Scale:        spec.scale,
 			ThreadCounts: spec.threadCounts,
+			Configure:    spec.configure,
 			Progress:     jb.setProgress,
 		})
 		cancelled := jb.ctx.Err() != nil

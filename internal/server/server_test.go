@@ -45,6 +45,13 @@ func post(t *testing.T, url, body string) *http.Response {
 	return resp
 }
 
+// errEnvelope decodes the API's uniform {"error":{"code","message"}}
+// error shape.
+func errEnvelope(t *testing.T, resp *http.Response) apiError {
+	t.Helper()
+	return decode[map[string]apiError](t, resp)["error"]
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -128,12 +135,15 @@ func TestRunValidation(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			resp := post(t, ts.URL+"/v1/runs", tc.body)
-			body := decode[map[string]string](t, resp)
+			apiErr := errEnvelope(t, resp)
 			if resp.StatusCode != tc.wantCode {
-				t.Errorf("status %d, want %d (%v)", resp.StatusCode, tc.wantCode, body)
+				t.Errorf("status %d, want %d (%+v)", resp.StatusCode, tc.wantCode, apiErr)
 			}
-			if body["error"] == "" {
-				t.Error("error payload missing")
+			if apiErr.Code == "" || apiErr.Message == "" {
+				t.Errorf("error envelope incomplete: %+v", apiErr)
+			}
+			if tc.wantCode == http.StatusNotFound && apiErr.Code != "not_found" {
+				t.Errorf("code %q, want not_found", apiErr.Code)
 			}
 		})
 	}
@@ -319,9 +329,12 @@ func TestQueueFullBackpressure(t *testing.T) {
 	srv.queue <- &job{block: release} // fills the depth-1 queue
 
 	resp := post(t, ts.URL+"/v1/runs", `{"workload":"fft"}`)
-	body := decode[map[string]string](t, resp)
+	apiErr := errEnvelope(t, resp)
 	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("status %d, want 429 (%v)", resp.StatusCode, body)
+		t.Fatalf("status %d, want 429 (%+v)", resp.StatusCode, apiErr)
+	}
+	if apiErr.Code != "queue_full" {
+		t.Errorf("error code %q, want queue_full", apiErr.Code)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("missing Retry-After header")

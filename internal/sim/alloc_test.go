@@ -10,9 +10,9 @@ import (
 // every freelist is primed and tokens are in full flight.
 func steadyProc(tb testing.TB) (*Processor, uint64) {
 	tb.Helper()
-	w, ok := workload.ByName("fft")
-	if !ok {
-		tb.Fatal("fft workload missing")
+	w, err := workload.ByName("fft")
+	if err != nil {
+		tb.Fatal(err)
 	}
 	inst := w.Build(workload.Small)
 	p, err := New(Baseline(BaselineArch()), inst.Prog, inst.Params(1), Memory(inst.Mem))
@@ -63,9 +63,9 @@ func BenchmarkSteadyStateTick(b *testing.B) {
 // BenchmarkFullScanTick is the same measurement under the reference
 // scheduler, for comparing the two in one -bench run.
 func BenchmarkFullScanTick(b *testing.B) {
-	w, ok := workload.ByName("fft")
-	if !ok {
-		b.Fatal("fft workload missing")
+	w, err := workload.ByName("fft")
+	if err != nil {
+		b.Fatal(err)
 	}
 	inst := w.Build(workload.Small)
 	build := func() (*Processor, uint64) {

@@ -14,6 +14,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"wavescalar/internal/isa"
 )
@@ -22,12 +23,17 @@ import (
 // separately (Figure 6).
 type Suite int
 
-// The three suites.
+// The suites: the paper's three benchmark groups plus the parameterized
+// tiled-kernel family (see tiled.go).
 const (
 	Spec Suite = iota
 	Media
 	Splash
+	Tiled
 )
+
+// Suites lists every suite in display order.
+func Suites() []Suite { return []Suite{Spec, Media, Splash, Tiled} }
 
 // String names the suite.
 func (s Suite) String() string {
@@ -38,6 +44,8 @@ func (s Suite) String() string {
 		return "mediabench"
 	case Splash:
 		return "splash2"
+	case Tiled:
+		return "tiled"
 	}
 	return fmt.Sprintf("suite(%d)", int(s))
 }
@@ -99,10 +107,31 @@ func register(w Workload) {
 	registry[w.Name] = w
 }
 
-// ByName returns a registered workload.
-func ByName(name string) (Workload, bool) {
-	w, ok := registry[name]
-	return w, ok
+// NotFoundError reports a workload name that resolves to nothing; it
+// lists the valid suites so callers (and HTTP clients) can discover the
+// namespace instead of guessing.
+type NotFoundError struct{ Name string }
+
+func (e *NotFoundError) Error() string {
+	suites := make([]string, 0, len(Suites()))
+	for _, s := range Suites() {
+		suites = append(suites, s.String())
+	}
+	return fmt.Sprintf("workload: unknown workload %q (valid suites: %s; tiled kernels follow gemm-<os|as|bs>-TmxTnxTk or conv-<ws|os|is>-TxxTyxTc)",
+		e.Name, strings.Join(suites, ", "))
+}
+
+// ByName resolves a workload name: a registered workload, or — for the
+// tiled family — any valid parameter combination, synthesized on the fly.
+// Unknown names return a *NotFoundError.
+func ByName(name string) (Workload, error) {
+	if w, ok := registry[name]; ok {
+		return w, nil
+	}
+	if strings.HasPrefix(name, "gemm-") || strings.HasPrefix(name, "conv-") {
+		return ParseTiled(name)
+	}
+	return Workload{}, &NotFoundError{Name: name}
 }
 
 // All returns every workload, sorted by suite then name.

@@ -9,27 +9,29 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	// The paper's fifteen applications.
+	// The paper's fifteen applications plus the default tiled variants.
 	want := map[string]Suite{
 		"gzip": Spec, "mcf": Spec, "twolf": Spec, "ammp": Spec, "art": Spec, "equake": Spec,
 		"djpeg": Media, "mpeg2encode": Media, "rawdaudio": Media,
 		"fft": Splash, "lu": Splash, "ocean": Splash, "radix": Splash,
 		"raytrace": Splash, "water": Splash,
+		"gemm-os-4x4x4": Tiled, "gemm-as-4x4x4": Tiled, "gemm-bs-4x4x4": Tiled,
+		"conv-ws-4x4x2": Tiled, "conv-os-4x4x2": Tiled, "conv-is-4x4x2": Tiled,
 	}
 	if len(All()) != len(want) {
 		t.Fatalf("registry has %d workloads, want %d", len(All()), len(want))
 	}
 	for name, suite := range want {
-		w, ok := ByName(name)
-		if !ok {
-			t.Errorf("workload %q missing", name)
+		w, err := ByName(name)
+		if err != nil {
+			t.Errorf("workload %q missing: %v", name, err)
 			continue
 		}
 		if w.Suite != suite {
 			t.Errorf("%q in suite %v, want %v", name, w.Suite, suite)
 		}
 	}
-	if len(BySuite(Spec)) != 6 || len(BySuite(Media)) != 3 || len(BySuite(Splash)) != 6 {
+	if len(BySuite(Spec)) != 6 || len(BySuite(Media)) != 3 || len(BySuite(Splash)) != 6 || len(BySuite(Tiled)) != 6 {
 		t.Error("suite partition sizes wrong")
 	}
 }

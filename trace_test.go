@@ -19,7 +19,7 @@ func traceRun(t *testing.T) (*wavescalar.TraceRecorder, []byte, []byte) {
 	cfg := wavescalar.Baseline(arch)
 	rec := wavescalar.NewTraceRecorder(wavescalar.TraceOptions{})
 	cfg.Trace = rec
-	if _, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1); err != nil {
+	if _, err := runWorkload(cfg, "fft", wavescalar.ScaleTiny, 1); err != nil {
 		t.Fatalf("traced fft run failed: %v", err)
 	}
 	var chrome, csv bytes.Buffer
@@ -144,7 +144,7 @@ func TestTraceDisabledStatsUnchanged(t *testing.T) {
 		if withTrace {
 			cfg.Trace = wavescalar.NewTraceRecorder(wavescalar.TraceOptions{})
 		}
-		st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
+		st, err := runWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
 		if err != nil {
 			t.Fatalf("run (trace=%v) failed: %v", withTrace, err)
 		}

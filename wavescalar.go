@@ -8,10 +8,11 @@
 //   - Programs: build WaveScalar dataflow graphs with NewProgram (loops,
 //     steering, wave-ordered memory) or use the bundled benchmark suite
 //     (Workloads, WorkloadByName) — synthetic stand-ins for the paper's
-//     Spec2000, Mediabench and Splash2 applications.
+//     Spec2000, Mediabench and Splash2 applications, plus the
+//     parameterized tiled GEMM/conv kernels (names like "gemm-os-8x8x8").
 //   - Simulation: configure a processor (Baseline, BaselineArch) and run
-//     programs on it (NewProcessor, RunWorkload); Stats reports AIPC,
-//     traffic by interconnect level, and component counters.
+//     programs on it (BuildProcessor, RunWorkloadContext); Stats reports
+//     AIPC, traffic by interconnect level, and component counters.
 //   - Area: the paper's Table 3 area model (TotalArea, ClusterBudget).
 //   - Design space: enumeration, pruning, matching-table tuning and
 //     Pareto analysis (DesignSpace, ViableDesigns, Sweep, ParetoFrontier,
@@ -22,10 +23,11 @@
 //     the exploration engine with singleflight dedup, a bounded worker
 //     pool and Prometheus metrics (NewServer; cmd/wsd).
 //
-// Context-aware entry points (RunWorkloadContext, Explorer.Sweep) accept
-// a context.Context and stop within a few thousand simulated cycles of
-// cancellation; the positional forms (RunWorkload, NewProcessor, Sweep)
-// remain as deprecated wrappers.
+// Entry points are context-aware (RunWorkloadContext, Explorer.Sweep):
+// they accept a context.Context and stop within a few thousand simulated
+// cycles of cancellation. Experiments can also be described declaratively
+// as versioned JSON scenario documents (ParseScenario; POST /v1/scenarios
+// on the daemon).
 package wavescalar
 
 import (
@@ -42,6 +44,7 @@ import (
 	"wavescalar/internal/graph"
 	"wavescalar/internal/isa"
 	"wavescalar/internal/ref"
+	"wavescalar/internal/scenario"
 	"wavescalar/internal/server"
 	"wavescalar/internal/sim"
 	"wavescalar/internal/trace"
@@ -154,6 +157,29 @@ func KillFractionScript(shape FaultShape, fraction float64, seed, cycle uint64) 
 	return fault.KillFractionScript(shape, fraction, seed, cycle)
 }
 
+// Scenario DSL: declarative experiment descriptions (internal/scenario).
+type (
+	// Scenario is a parsed "scenario v1" document: a workload (named or
+	// tiled-kernel parameters) composed with a scale, thread counts, an
+	// optional fault script, and an optional phase sequence. Digest gives
+	// its content address; ResolvePhases lowers it to runnable phases.
+	Scenario = scenario.Scenario
+	// ScenarioPhase is one step of a scenario before resolution.
+	ScenarioPhase = scenario.Phase
+	// ScenarioWorkload selects a phase's workload by name or by
+	// tiled-kernel parameters.
+	ScenarioWorkload = scenario.WorkloadSpec
+)
+
+// ErrBadScenario wraps every scenario parse and validation failure.
+var ErrBadScenario = scenario.ErrBadScenario
+
+// ParseScenario decodes and validates a scenario document — strict JSON
+// (unknown fields rejected), a mandatory {"scenario": "v1"} version tag,
+// and every referenced workload, scale, and thread count checked. The
+// daemon's POST /v1/scenarios accepts exactly what ParseScenario accepts.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
 // Tracing types: the cycle-level observability layer (internal/trace).
 type (
 	// TraceRecorder collects typed cycle-level events; attach one via
@@ -211,6 +237,7 @@ const (
 	SuiteSpec   = workload.Spec
 	SuiteMedia  = workload.Media
 	SuiteSplash = workload.Splash
+	SuiteTiled  = workload.Tiled
 )
 
 // Design-space types.
@@ -280,29 +307,20 @@ func BuildProcessor(prog *Program, opts ...ProcOption) (*Processor, error) {
 	return sim.New(o.cfg, prog, o.params, o.mem)
 }
 
-// NewProcessor builds a processor running prog with one parameter map per
-// thread and the given initial memory.
-//
-// Deprecated: use BuildProcessor, which takes functional options and
-// defaults every argument.
-func NewProcessor(cfg Config, prog *Program, params []map[string]uint64, mem Memory) (*Processor, error) {
-	return sim.New(cfg, prog, params, mem)
-}
-
-// Workloads returns the bundled benchmark suite (15 kernels across
-// spec2000, mediabench and splash2).
+// Workloads returns the bundled benchmark suite: the paper's 15 kernels
+// across spec2000, mediabench and splash2, plus the default tiled
+// GEMM/conv variants.
 func Workloads() []Workload { return workload.All() }
 
 // WorkloadsBySuite returns one suite's workloads.
 func WorkloadsBySuite(s Suite) []Workload { return workload.BySuite(s) }
 
-// WorkloadByName finds a bundled workload.
+// WorkloadByName resolves a workload name: a bundled kernel, or any valid
+// tiled-kernel name (e.g. "gemm-os-8x8x8", "conv-ws-4x4x2"), synthesized
+// on the fly. Unknown names return a *workload.NotFoundError listing the
+// valid namespaces.
 func WorkloadByName(name string) (Workload, error) {
-	w, ok := workload.ByName(name)
-	if !ok {
-		return Workload{}, fmt.Errorf("wavescalar: unknown workload %q", name)
-	}
-	return w, nil
+	return workload.ByName(name)
 }
 
 // RunOption configures RunWorkloadContext.
@@ -358,16 +376,6 @@ func RunWorkloadContext(ctx context.Context, name string, opts ...RunOption) (*S
 	return design.RunOnceContext(ctx, o.cfg, inst, o.threads)
 }
 
-// RunWorkload builds the named workload at the given scale and runs it on
-// cfg with the given number of threads, returning the run statistics.
-//
-// Deprecated: use RunWorkloadContext, which supports cancellation and
-// defaults every argument.
-func RunWorkload(cfg Config, name string, sc Scale, threads int) (*Stats, error) {
-	return RunWorkloadContext(context.Background(), name,
-		WithConfig(cfg), AtScale(sc), WithThreads(threads))
-}
-
 // Interpret executes a program functionally (no timing) and returns its
 // dynamic and countable instruction counts plus the halt value. It is the
 // reference semantics the cycle simulator is validated against.
@@ -410,15 +418,6 @@ func ViableDesigns() []DesignPoint { return design.Viable() }
 
 // DesignRules documents the pruning rules applied by ViableDesigns.
 func DesignRules() []string { return append([]string(nil), design.Rules...) }
-
-// Sweep evaluates design points over workloads (concurrently; each
-// individual simulation is deterministic).
-//
-// Deprecated: use NewExplorer, whose Sweep adds cancellation, result
-// caching, journaling/resume and progress reporting.
-func Sweep(points []DesignPoint, apps []Workload, opt SweepOptions) []SweepResult {
-	return design.Sweep(points, apps, opt)
-}
 
 // ParetoFrontier extracts the Pareto-optimal subset of evaluated designs.
 func ParetoFrontier(evals []Evaluated) []Evaluated { return design.Pareto(evals) }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"wavescalar"
+	"wavescalar/internal/design"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -30,7 +31,9 @@ func TestQuickstartFlow(t *testing.T) {
 		mem[0x2000+i*8] = f64(1)
 	}
 	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
-	proc, err := wavescalar.NewProcessor(cfg, prog, []map[string]uint64{{"n": 8}}, mem)
+	proc, err := wavescalar.BuildProcessor(prog,
+		wavescalar.ProcConfig(cfg), wavescalar.ProcParams(map[string]uint64{"n": 8}),
+		wavescalar.ProcMemory(mem))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,14 +52,14 @@ func TestQuickstartFlow(t *testing.T) {
 
 func TestRunWorkload(t *testing.T) {
 	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
-	st, err := wavescalar.RunWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
+	st, err := runWorkload(cfg, "fft", wavescalar.ScaleTiny, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Countable == 0 {
 		t.Error("no instructions counted")
 	}
-	if _, err := wavescalar.RunWorkload(cfg, "nope", wavescalar.ScaleTiny, 1); err == nil {
+	if _, err := runWorkload(cfg, "nope", wavescalar.ScaleTiny, 1); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
@@ -91,18 +94,26 @@ func TestDesignSpaceAPI(t *testing.T) {
 	}
 	// A miniature sweep through the public API.
 	apps := []wavescalar.Workload{mustWL(t, "gzip")}
-	res := wavescalar.Sweep(viable[:2], apps, wavescalar.SweepOptions{Scale: wavescalar.ScaleTiny})
+	res := design.Sweep(viable[:2], apps, wavescalar.SweepOptions{Scale: wavescalar.ScaleTiny})
 	if f := wavescalar.SweepFrontier(res); len(f) == 0 {
 		t.Error("empty frontier")
 	}
 }
 
 func TestWorkloadsAPI(t *testing.T) {
-	if len(wavescalar.Workloads()) != 15 {
-		t.Errorf("workloads = %d, want 15", len(wavescalar.Workloads()))
+	// 15 paper kernels plus the 6 default tiled variants.
+	if len(wavescalar.Workloads()) != 21 {
+		t.Errorf("workloads = %d, want 21", len(wavescalar.Workloads()))
 	}
 	if len(wavescalar.WorkloadsBySuite(wavescalar.SuiteSplash)) != 6 {
 		t.Error("splash2 should have 6 kernels")
+	}
+	if len(wavescalar.WorkloadsBySuite(wavescalar.SuiteTiled)) != 6 {
+		t.Error("tiled should register 6 default variants")
+	}
+	// Tiled names resolve dynamically beyond the registered defaults.
+	if _, err := wavescalar.WorkloadByName("gemm-os-8x8x8"); err != nil {
+		t.Errorf("dynamic tiled name: %v", err)
 	}
 }
 
@@ -134,7 +145,7 @@ func u2f(v uint64) float64 { return math.Float64frombits(v) }
 
 func TestEnergyAPI(t *testing.T) {
 	cfg := wavescalar.Baseline(wavescalar.BaselineArch())
-	st, err := wavescalar.RunWorkload(cfg, "ammp", wavescalar.ScaleTiny, 1)
+	st, err := runWorkload(cfg, "ammp", wavescalar.ScaleTiny, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
