@@ -23,6 +23,7 @@
 // Endpoints:
 //
 //	POST /v1/runs        synchronous single simulation (cached, deduped)
+//	POST /v1/predict     surrogate answer when confident, else a real run
 //	POST /v1/sweeps      asynchronous design-space sweep -> job id
 //	GET  /v1/jobs/{id}   job status, progress, results
 //	DELETE /v1/jobs/{id} cancel a job
@@ -32,6 +33,7 @@
 //	POST /v1/cluster/register    worker registration (coordinator only)
 //	POST /v1/cluster/heartbeat   worker lease renewal (coordinator only)
 //	POST /v1/cluster/deregister  worker graceful drain (coordinator only)
+//	POST /v1/cluster/journal     worker journal delta merge (coordinator only)
 //	GET  /v1/cluster/workers     fabric membership (coordinator only)
 //	GET  /healthz        liveness + role + queue/cache stats
 //	GET  /metrics        Prometheus text exposition
@@ -73,6 +75,11 @@ func main() {
 	lease := flag.Duration("lease", 15*time.Second, "worker lease; a worker missing heartbeats this long is dropped (coordinator role)")
 	tenantQuota := flag.Int("tenant-quota", 0, "max queued-or-running jobs per tenant (X-Tenant header); 0 disables")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "base Retry-After hint on 429 responses (served jittered ±20%)")
+	scenarioStore := flag.String("scenario-store", "", "persist stored scenarios to this JSONL file (default <journal>.scenarios when -journal is set)")
+	surrogateModel := flag.String("surrogate", "", "serve /v1/predict from this model file (wssurrogate train)")
+	surrogateTrain := flag.Bool("surrogate-train", false, "train the /v1/predict model at startup from the resumed journal")
+	surrogateThreshold := flag.Float64("surrogate-threshold", 0, "relative-uncertainty gate above which /v1/predict falls back to simulation (0 = default 0.1)")
+	shipInterval := flag.Duration("ship-interval", 0, "ship journal deltas to the coordinator this often (worker role; 0 disables)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -114,6 +121,36 @@ func main() {
 	}
 	if *journalPath != "" {
 		opts = append(opts, wavescalar.ServerJournal(*journalPath, *resume))
+	}
+	store := *scenarioStore
+	if store == "" && *journalPath != "" {
+		store = *journalPath + ".scenarios"
+	}
+	if store != "" {
+		opts = append(opts, wavescalar.ServerScenarioStore(store))
+	}
+	if *surrogateModel != "" && *surrogateTrain {
+		fail(fmt.Errorf("-surrogate and -surrogate-train are mutually exclusive"))
+	}
+	if *surrogateTrain && !*resume {
+		fail(fmt.Errorf("-surrogate-train needs journaled cells; add -journal <file> -resume"))
+	}
+	if *surrogateModel != "" {
+		opts = append(opts, wavescalar.ServerSurrogateModel(*surrogateModel))
+	}
+	if *surrogateTrain {
+		opts = append(opts, wavescalar.ServerSurrogateTrain())
+	}
+	if *surrogateThreshold > 0 {
+		opts = append(opts, wavescalar.ServerSurrogateThreshold(*surrogateThreshold))
+	}
+	if *shipInterval > 0 {
+		if role != wavescalar.RoleWorker {
+			fail(fmt.Errorf("-ship-interval requires -role worker"))
+		}
+		if *journalPath == "" {
+			fail(fmt.Errorf("-ship-interval requires -journal (it ships that file's deltas)"))
+		}
 	}
 	srv, err := wavescalar.NewServer(opts...)
 	if err != nil {
@@ -168,6 +205,31 @@ func main() {
 		}
 	}
 
+	// Worker role with -ship-interval: tail this worker's journal and
+	// ship each delta to the coordinator's shared result space, so a
+	// cold-restarted worker's locally simulated cells are not lost to
+	// the fabric. Stopped after the drain completes, so the final ship
+	// sees every journaled cell.
+	stopShipper := func() {}
+	if role == wavescalar.RoleWorker && *shipInterval > 0 {
+		shipper := &wavescalar.ClusterShipper{
+			Coordinator: *coordinator, JournalPath: *journalPath,
+			Interval: *shipInterval,
+		}
+		shipCtx, shipCancel := context.WithCancel(context.Background())
+		shipDone := make(chan struct{})
+		go func() {
+			defer close(shipDone)
+			if err := shipper.Run(shipCtx); err != nil {
+				fmt.Fprintln(os.Stderr, "wsd: journal shipper:", err)
+			}
+		}()
+		stopShipper = func() {
+			shipCancel()
+			<-shipDone // final delta shipped (or logged as retryable)
+		}
+	}
+
 	httpSrv := &http.Server{Handler: srv}
 	shutdownDone := make(chan error, 1)
 	sigs := make(chan os.Signal, 1)
@@ -182,6 +244,9 @@ func main() {
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		err := srv.Shutdown(drainCtx)
+		// The journal is flushed and closed now; ship the final delta
+		// before the process goes away.
+		stopShipper()
 		if herr := httpSrv.Shutdown(context.Background()); err == nil {
 			err = herr
 		}

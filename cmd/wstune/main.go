@@ -7,6 +7,7 @@
 //	wstune                 # tune every bundled workload
 //	wstune -app gzip       # tune one
 //	wstune -journal t.jsonl -resume   # skip already-journaled workloads
+//	wstune -surrogate model.json      # model-prune non-competitive k candidates
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	journalPath := flag.String("journal", "", "append completed tunings to this JSONL journal")
 	resume := flag.Bool("resume", false, "replay the journal first and tune only missing workloads")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+	surrogatePath := flag.String("surrogate", "", "prune non-competitive k candidates with this model file (wssurrogate train)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -48,6 +50,14 @@ func main() {
 		opt.Scale = wavescalar.ScaleMedium
 	default:
 		fail(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	var model *wavescalar.Surrogate
+	if *surrogatePath != "" {
+		var err error
+		if model, err = wavescalar.LoadSurrogate(*surrogatePath); err != nil {
+			fail(err)
+		}
 	}
 
 	var apps []wavescalar.Workload
@@ -87,8 +97,13 @@ func main() {
 	fmt.Println()
 	fmt.Printf("%-12s %6s %6s %12s\n", "application", "u_opt", "k_opt", "virt. ratio")
 	var tunings []wavescalar.Tuning
-	cached := 0
+	cached, pruned := 0, 0
 	for _, w := range apps {
+		if model != nil {
+			// The advisor is per-app: the feature vector carries the
+			// workload identity, so each app gets its own prune decisions.
+			opt.Advisor = model.Advisor(w.Name, opt.Scale, 1, 0)
+		}
 		tn, hit, err := exp.Tune(ctx, w, opt)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -106,11 +121,15 @@ func main() {
 		if hit {
 			cached++
 		}
+		pruned += tn.Pruned
 		tunings = append(tunings, tn)
 		fmt.Printf("%-12s %6d %6d %12.2f\n", tn.App, tn.UOpt, tn.KOpt, tn.Ratio)
 	}
 	if cached > 0 {
 		fmt.Fprintf(os.Stderr, "wstune: %d of %d tunings served from the journal/cache\n", cached, len(apps))
+	}
+	if model != nil {
+		fmt.Fprintf(os.Stderr, "wstune: surrogate pruned %d k candidates without simulating\n", pruned)
 	}
 	if len(tunings) > 1 {
 		max := tunings[0].Ratio

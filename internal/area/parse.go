@@ -1,0 +1,19 @@
+package area
+
+import "fmt"
+
+// ParseArch parses the compact rendering produced by Params.String
+// ("C4 D4 P8 V128 M128 L1:32KB L2:2MB") back into Params. It is the
+// inverse used to reconstruct a design point from a journaled cell's
+// human-readable Arch field, so Parse(p.String()) == p for any valid p.
+// The parsed parameters are not range-checked; call Validate if the
+// input is untrusted.
+func ParseArch(s string) (Params, error) {
+	var p Params
+	n, err := fmt.Sscanf(s, "C%d D%d P%d V%d M%d L1:%dKB L2:%dMB",
+		&p.Clusters, &p.Domains, &p.PEs, &p.Virt, &p.Match, &p.L1KB, &p.L2MB)
+	if err != nil || n != 7 {
+		return Params{}, fmt.Errorf("area: cannot parse arch %q", s)
+	}
+	return p, nil
+}

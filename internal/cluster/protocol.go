@@ -107,6 +107,17 @@ type ExecResponse struct {
 	Version version.Info `json:"version"`
 }
 
+// JournalResponse is the body of POST /v1/cluster/journal: the
+// coordinator acknowledging a shipped journal delta. Received counts
+// the records in the delta; Merged counts the ones that were new to the
+// coordinator's result space (the rest were already present — the
+// idempotence that makes re-shipping after a worker restart safe).
+type JournalResponse struct {
+	Received int          `json:"received"`
+	Merged   int          `json:"merged"`
+	Version  version.Info `json:"version"`
+}
+
 // WorkersResponse is the body of GET /v1/cluster/workers.
 type WorkersResponse struct {
 	Role    string       `json:"role"`

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Shipper periodically ships a worker's journal delta to its
+// coordinator, closing the fabric's one durability gap: cells a worker
+// simulated for *local* requests (plain /v1/runs against the worker, or
+// coordinator dispatches whose sweep was since cancelled) live only in
+// that worker's journal, so a worker cold-restart used to forget them
+// as far as the rest of the fabric was concerned. The shipper tails the
+// worker's own journal file from a tracked offset and POSTs each new
+// complete-line chunk to the coordinator's /v1/cluster/journal, which
+// folds it into the shared result space via the explorer's idempotent
+// MergeJournal — records the coordinator already has are skipped, so
+// re-shipping (offset lost, worker restarted without -resume) costs
+// bandwidth, never correctness.
+type Shipper struct {
+	// Coordinator is the coordinator's base URL; JournalPath the
+	// worker's own journal file.
+	Coordinator string
+	JournalPath string
+	// Interval is the shipping period (default 30s).
+	Interval time.Duration
+	// Logf receives shipping diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+	// Client is the HTTP client used (default: 30s timeout).
+	Client *http.Client
+
+	offset int64 // bytes of JournalPath already acknowledged
+}
+
+// Run ships on every tick until ctx is cancelled, then ships one final
+// delta on a short grace context so a graceful drain loses nothing that
+// reached the journal. Ship failures are logged and retried next tick —
+// the delta stays unacknowledged, so nothing is skipped.
+func (sh *Shipper) Run(ctx context.Context) error {
+	if sh.Coordinator == "" || sh.JournalPath == "" {
+		return fmt.Errorf("cluster: shipper needs Coordinator and JournalPath")
+	}
+	logf := sh.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	interval := sh.Interval
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			final, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if n, err := sh.ShipOnce(final); err != nil {
+				logf("cluster: final journal ship failed (cells re-ship on restart): %v", err)
+			} else if n > 0 {
+				logf("cluster: final journal ship delivered %d records", n)
+			}
+			cancel()
+			return nil
+		case <-tick.C:
+			if n, err := sh.ShipOnce(ctx); err != nil {
+				if ctx.Err() == nil {
+					logf("cluster: journal ship to %s failed (will retry): %v", sh.Coordinator, err)
+				}
+			} else if n > 0 {
+				logf("cluster: shipped %d journal records to %s", n, sh.Coordinator)
+			}
+		}
+	}
+}
+
+// ShipOnce ships the journal delta since the last acknowledged offset,
+// returning how many records the coordinator received. Only complete
+// lines ship — a record mid-append waits for the next tick. A journal
+// that shrank (restart without -resume truncates it) resets the offset
+// and re-ships from the top; merging is idempotent on the cell key.
+func (sh *Shipper) ShipOnce(ctx context.Context) (int, error) {
+	f, err := os.Open(sh.JournalPath)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() < sh.offset {
+		sh.offset = 0
+	}
+	if st.Size() == sh.offset {
+		return 0, nil
+	}
+	if _, err := f.Seek(sh.offset, io.SeekStart); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, st.Size()-sh.offset)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return 0, err
+	}
+	end := bytes.LastIndexByte(buf, '\n')
+	if end < 0 {
+		return 0, nil // one torn record so far; wait for its newline
+	}
+	payload := buf[:end+1]
+
+	client := sh.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		sh.Coordinator+"/v1/cluster/journal", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+	}
+	var ack JournalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return 0, err
+	}
+	sh.offset += int64(len(payload))
+	return ack.Received, nil
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeCoordinator records every /v1/cluster/journal payload and acks the
+// line count, standing in for the real merge endpoint.
+func fakeCoordinator(t *testing.T, payloads *[]string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster/journal" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Error(err)
+		}
+		*payloads = append(*payloads, string(b))
+		received := strings.Count(string(b), "\n")
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"received":` + itoa(received) + `,"merged":` + itoa(received) + `}`))
+	}))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; n > 0; n /= 10 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+	}
+	return string(b)
+}
+
+// TestShipperDeltas: the shipper ships complete lines only, advances its
+// offset so nothing re-ships, picks up appended deltas, and holds back a
+// torn trailing record until its newline lands.
+func TestShipperDeltas(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "worker.jsonl")
+	var payloads []string
+	coord := fakeCoordinator(t, &payloads)
+	defer coord.Close()
+
+	sh := &Shipper{Coordinator: coord.URL, JournalPath: journal}
+	ctx := context.Background()
+
+	// Missing journal: a fresh worker has nothing to ship, not an error.
+	if n, err := sh.ShipOnce(ctx); n != 0 || err != nil {
+		t.Fatalf("missing journal: got %d, %v", n, err)
+	}
+
+	// Two complete records and one torn one: only the complete ones ship.
+	if err := os.WriteFile(journal, []byte("{\"a\":1}\n{\"a\":2}\n{\"a\":3}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := sh.ShipOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(payloads) != 1 || payloads[0] != "{\"a\":1}\n{\"a\":2}\n" {
+		t.Fatalf("first ship: n=%d payloads=%q", n, payloads)
+	}
+
+	// Nothing new completed: no request at all.
+	if n, err := sh.ShipOnce(ctx); n != 0 || err != nil || len(payloads) != 1 {
+		t.Fatalf("torn-only delta shipped: n=%d err=%v payloads=%q", n, err, payloads)
+	}
+
+	// The torn record's newline lands plus one more: exactly the delta ships.
+	f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n{\"a\":4}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	n, err = sh.ShipOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(payloads) != 2 || payloads[1] != "{\"a\":3}\n{\"a\":4}\n" {
+		t.Fatalf("delta ship: n=%d payloads=%q", n, payloads)
+	}
+
+	// A shrunk journal (restart without -resume) resets the offset and
+	// re-ships from the top — safe because merging is idempotent.
+	if err := os.WriteFile(journal, []byte("{\"a\":9}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err = sh.ShipOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(payloads) != 3 || payloads[2] != "{\"a\":9}\n" {
+		t.Fatalf("post-truncation ship: n=%d payloads=%q", n, payloads)
+	}
+}
+
+// TestShipperFailureKeepsOffset: a failed ship must leave the offset
+// unmoved so the same delta re-ships on the next attempt.
+func TestShipperFailureKeepsOffset(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "worker.jsonl")
+	if err := os.WriteFile(journal, []byte("{\"a\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fail := true
+	var payloads []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail {
+			http.Error(w, "merge: journal locked", http.StatusBadRequest)
+			return
+		}
+		b, _ := io.ReadAll(r.Body)
+		payloads = append(payloads, string(b))
+		_, _ = w.Write([]byte(`{"received":1,"merged":0}`))
+	}))
+	defer srv.Close()
+
+	sh := &Shipper{Coordinator: srv.URL, JournalPath: journal}
+	if _, err := sh.ShipOnce(context.Background()); err == nil {
+		t.Fatal("ship against a failing coordinator succeeded")
+	}
+	fail = false
+	n, err := sh.ShipOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(payloads) != 1 || payloads[0] != "{\"a\":1}\n" {
+		t.Fatalf("retry: n=%d payloads=%q", n, payloads)
+	}
+}
+
+func TestShipperNeedsConfig(t *testing.T) {
+	if err := (&Shipper{}).Run(context.Background()); err == nil {
+		t.Error("Run without Coordinator/JournalPath succeeded")
+	}
+}

@@ -53,8 +53,10 @@ func RunOnceContext(ctx context.Context, cfg sim.Config, inst *workload.Instance
 type BestRun struct {
 	AIPC    float64
 	Threads int
-	// Cycles is the winning run's simulated length.
-	Cycles uint64
+	// Cycles is the winning run's simulated length; Traffic its total
+	// message count (the NoC-pressure objective surrogate models learn).
+	Cycles  uint64
+	Traffic uint64
 	// SimCycles totals simulated cycles across every thread count tried.
 	SimCycles uint64
 	// Sims counts the simulations performed.
@@ -99,6 +101,7 @@ func BestThreadsContext(ctx context.Context, cfg sim.Config, inst *workload.Inst
 		best.SimCycles += st.Cycles
 		if a := st.AIPC(); a > best.AIPC {
 			best.AIPC, best.Threads, best.Cycles = a, n, st.Cycles
+			best.Traffic = st.TrafficTotal()
 		}
 	}
 	if best.Threads == 0 {

@@ -16,6 +16,9 @@ type Tuning struct {
 	KOpt  int
 	UOpt  int
 	Ratio float64 // virtualization ratio k_opt / u_opt
+	// Pruned counts the k candidates an Advisor skipped without
+	// simulating (0 without an advisor). Not part of the tuning identity.
+	Pruned int
 }
 
 // TuneOptions configures the tuning procedure.
@@ -33,6 +36,14 @@ type TuneOptions struct {
 	// config the k/u sweeps perturb; nil uses BaselineConfigure. It is
 	// the same ConfigureFunc type SweepOptions uses.
 	Configure ConfigureFunc
+	// Advisor, when non-nil, predicts a configuration's AIPC without
+	// simulating (ok false when the model cannot answer). The k sweep
+	// uses it to skip candidates predicted to fall clearly outside the
+	// tolerance band — more than 2×Tol below the best prediction — so a
+	// surrogate-assisted tuning simulates only the contenders. The final
+	// k_opt/u_opt selection is always made from real simulations; the
+	// advisor only prunes, it never decides.
+	Advisor func(cfg sim.Config) (aipc float64, ok bool)
 }
 
 // Validate reports whether the options are usable, wrapping ErrBadOptions
@@ -105,10 +116,46 @@ func TuneContext(ctx context.Context, w workload.Workload, opt TuneOptions) (Tun
 	}
 	inst := w.Build(opt.Scale)
 
-	// Step 1: k_opt on an effectively infinite matching table.
+	// Step 1: k_opt on an effectively infinite matching table. With an
+	// Advisor, candidates predicted to land clearly outside the tolerance
+	// band (more than 2×Tol below the best prediction) are skipped; the
+	// selection below still compares only simulated candidates.
+	skip := make([]bool, len(opt.Ks))
+	pruned := 0
+	if opt.Advisor != nil {
+		preds := make([]float64, len(opt.Ks))
+		have := make([]bool, len(opt.Ks))
+		bestPred := 0.0
+		for i, k := range opt.Ks {
+			cfg := configure(TunePoint())
+			cfg.Arch.Match = 4096
+			cfg.K = k
+			if a, ok := opt.Advisor(cfg); ok {
+				preds[i], have[i] = a, true
+				if a > bestPred {
+					bestPred = a
+				}
+			}
+		}
+		for i := range opt.Ks {
+			if have[i] && preds[i] < bestPred*(1-2*opt.Tol) {
+				skip[i] = true
+				pruned++
+			}
+		}
+		if pruned == len(opt.Ks) {
+			// Never prune everything: fall back to the full sweep.
+			skip = make([]bool, len(opt.Ks))
+			pruned = 0
+		}
+	}
 	kAIPC := make([]float64, len(opt.Ks))
+	simulated := make([]bool, len(opt.Ks))
 	best := 0.0
 	for i, k := range opt.Ks {
+		if skip[i] {
+			continue
+		}
 		cfg := configure(TunePoint())
 		cfg.Arch.Match = 4096 // "infinite": far beyond any instance demand
 		cfg.K = k
@@ -117,13 +164,14 @@ func TuneContext(ctx context.Context, w workload.Workload, opt TuneOptions) (Tun
 			return Tuning{}, fmt.Errorf("design: tuning %s at k=%d: %w", w.Name, k, err)
 		}
 		kAIPC[i] = st.AIPC()
+		simulated[i] = true
 		if kAIPC[i] > best {
 			best = kAIPC[i]
 		}
 	}
 	kOpt := opt.Ks[len(opt.Ks)-1]
 	for i, k := range opt.Ks {
-		if kAIPC[i] >= best*(1-opt.Tol) {
+		if simulated[i] && kAIPC[i] >= best*(1-opt.Tol) {
 			kOpt = k
 			break
 		}
@@ -160,10 +208,11 @@ func TuneContext(ctx context.Context, w workload.Workload, opt TuneOptions) (Tun
 	}
 
 	return Tuning{
-		App:   w.Name,
-		KOpt:  kOpt,
-		UOpt:  uOpt,
-		Ratio: float64(kOpt) / float64(uOpt),
+		App:    w.Name,
+		KOpt:   kOpt,
+		UOpt:   uOpt,
+		Ratio:  float64(kOpt) / float64(uOpt),
+		Pruned: pruned,
 	}, nil
 }
 

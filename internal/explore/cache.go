@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 
 	"wavescalar/internal/design"
@@ -55,6 +56,12 @@ func TuneKey(base sim.Config, app string, opt design.TuneOptions) string {
 	if !script.Empty() {
 		fmt.Fprintf(h, "|fault|%s", script.Digest())
 	}
+	// Advisor-assisted tunings prune their k sweep with a surrogate, so
+	// they may not be bit-equal to exhaustive ones; keep the two result
+	// populations apart in the cache and journal.
+	if opt.Advisor != nil {
+		fmt.Fprintf(h, "|advised")
+	}
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 
@@ -69,10 +76,22 @@ type Cell struct {
 	AIPC    float64
 	Threads int
 	// Cycles is the winning run's length; SimCycles totals every thread
-	// count tried (progress accounting).
+	// count tried (progress accounting). Traffic is the winning run's
+	// total NoC message count.
 	Cycles    uint64
 	SimCycles uint64
-	Err       string // non-empty for a deterministic failure
+	Traffic   uint64
+	// Provenance for surrogate training: the cell's scale, the k-loop
+	// bound of its configuration, and the fault-script digest if one was
+	// injected. Zero values on records journaled before these fields
+	// existed — such cells simply carry less training signal. None of
+	// these participate in the content-addressed Key (the key already
+	// covers the full config/scale/fault identity).
+	ScaleIters     int
+	ScaleFootprint int
+	K              int
+	FaultDigest    string
+	Err            string // non-empty for a deterministic failure
 }
 
 // CacheStats is a snapshot of a cache's contents and lookup history,
@@ -178,6 +197,21 @@ func (c *Cache) PutCell(cell Cell) {
 	}
 	c.cells[cell.Key] = c.order.PushFront(cell)
 	c.evictOver()
+}
+
+// Cells returns a snapshot of every cached cell, sorted by key. The
+// deterministic order (independent of insertion and LRU history) is what
+// lets surrogate training over a cache produce byte-identical models for
+// the same cell population. Recency is not touched.
+func (c *Cache) Cells() []Cell {
+	c.mu.Lock()
+	out := make([]Cell, 0, len(c.cells))
+	for _, el := range c.cells {
+		out = append(out, el.Value.(Cell))
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // Tuning looks up a completed tuning by key.

@@ -382,12 +382,13 @@ func (e *Explorer) SweepWith(ctx context.Context, points []design.Point, apps []
 						// non-deterministic partial outcome.
 						continue
 					}
-					cell = Cell{Key: key, App: apps[job.ai].Name, Arch: points[job.pi].Arch.String()}
+					cell = newCell(key, apps[job.ai].Name, configs[job.pi], scale)
 					if err != nil {
 						cell.Err = err.Error()
 					} else {
 						cell.AIPC, cell.Threads = br.AIPC, br.Threads
 						cell.Cycles, cell.SimCycles = br.Cycles, br.SimCycles
+						cell.Traffic = br.Traffic
 					}
 				}
 				if cell.Err != "" {
@@ -438,6 +439,20 @@ dispatch:
 		return results, firstJErr
 	}
 	return results, nil
+}
+
+// newCell stamps a fresh cell with its identity and provenance: the
+// fields every outcome (success or deterministic failure) carries, and
+// that surrogate training later reads back out of the journal.
+func newCell(key, app string, cfg sim.Config, sc workload.Scale) Cell {
+	cell := Cell{
+		Key: key, App: app, Arch: cfg.Arch.String(),
+		ScaleIters: sc.Iters, ScaleFootprint: sc.Footprint, K: cfg.K,
+	}
+	if !cfg.Fault.Empty() {
+		cell.FaultDigest = cfg.Fault.Digest()
+	}
+	return cell
 }
 
 // errIncomplete marks a cell the sweep never reached (cancellation).
@@ -512,12 +527,13 @@ func (e *Explorer) RunOne(ctx context.Context, cfg sim.Config, w workload.Worklo
 		// Cancelled mid-cell: do not cache a partial outcome.
 		return Cell{}, false, err
 	}
-	cell := Cell{Key: key, App: w.Name, Arch: cfg.Arch.String()}
+	cell := newCell(key, w.Name, cfg, sc)
 	if err != nil {
 		cell.Err = err.Error()
 	} else {
 		cell.AIPC, cell.Threads = br.AIPC, br.Threads
 		cell.Cycles, cell.SimCycles = br.Cycles, br.SimCycles
+		cell.Traffic = br.Traffic
 	}
 	e.cache.PutCell(cell)
 	if e.journal != nil {

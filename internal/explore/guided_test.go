@@ -1,0 +1,134 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"wavescalar/internal/design"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// fakeCellRunner answers every cell from a smooth synthetic performance
+// model instead of the simulator, so a full guided-vs-exhaustive
+// comparison runs in milliseconds. The landscape mirrors the real one:
+// AIPC moves with clusters and virtualization and is flat along the
+// cache axes, so equal-AIPC families span a wide area range and the
+// frontier is a small set of cheapest-per-level points.
+func fakeCellRunner(calls *atomic.Int64) CellRunner {
+	return func(_ context.Context, key string, cfg sim.Config, app string, sc workload.Scale, _ []int) (Cell, error) {
+		calls.Add(1)
+		aipc := math.Log2(float64(cfg.Arch.Clusters)) + math.Log2(float64(cfg.Arch.Virt))/4
+		return Cell{
+			Key: key, App: app, Arch: cfg.Arch.String(),
+			AIPC: aipc, Threads: 1, Cycles: 1000, SimCycles: 1000, Traffic: 100,
+			// Provenance: without it, CellSample drops the row and the
+			// guided model would have nothing to train on.
+			ScaleIters: sc.Iters, ScaleFootprint: sc.Footprint, K: cfg.K,
+		}, nil
+	}
+}
+
+// TestSweepGuidedRecoversFrontier is the acquisition-loop acceptance in
+// miniature: on a synthetic landscape with the real design space, the
+// guided sweep must recover the exhaustive Pareto frontier exactly while
+// staying within its 20% default cell budget, mark unevaluated points
+// with ErrNotEvaluated, and be deterministic across runs with one seed.
+func TestSweepGuidedRecoversFrontier(t *testing.T) {
+	points := design.Viable()
+	app, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []workload.Workload{app}
+	spec := GuidedSpec{Scale: workload.Tiny, ThreadCounts: []int{1}, Seed: 1}
+
+	// Exhaustive ground truth, from the same synthetic landscape.
+	var exCalls atomic.Int64
+	ex, err := New(WithRunner(fakeCellRunner(&exCalls)), WithScale(workload.Tiny), WithThreadCounts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exResults, err := ex.Sweep(context.Background(), points, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exFrontier := design.Frontier(exResults)
+	if len(exFrontier) == 0 || len(exFrontier) > len(points)/5 {
+		t.Fatalf("degenerate synthetic frontier: %d of %d points", len(exFrontier), len(points))
+	}
+
+	var calls atomic.Int64
+	g, err := New(WithRunner(fakeCellRunner(&calls)), WithScale(workload.Tiny), WithThreadCounts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guided, err := g.SweepGuided(context.Background(), points, apps, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := len(points) * len(apps)
+	budget := int(math.Ceil(0.2 * float64(total)))
+	if guided.TotalCells != total {
+		t.Errorf("TotalCells %d, want %d", guided.TotalCells, total)
+	}
+	if guided.EvaluatedCells > budget {
+		t.Errorf("evaluated %d cells, budget %d", guided.EvaluatedCells, budget)
+	}
+	if int(calls.Load()) != guided.EvaluatedCells {
+		t.Errorf("runner ran %d times, accounting says %d", calls.Load(), guided.EvaluatedCells)
+	}
+
+	// Every exhaustive frontier point must be recovered with matching AIPC.
+	got := make(map[[7]int]float64)
+	for _, e := range design.Frontier(guided.Results) {
+		got[knobs(e.Point)] = e.AIPC
+	}
+	for _, e := range exFrontier {
+		aipc, ok := got[knobs(e.Point)]
+		if !ok {
+			t.Errorf("frontier point %v missed by the guided sweep", e.Point)
+			continue
+		}
+		if rel := math.Abs(aipc-e.AIPC) / e.AIPC; rel > 0.02 {
+			t.Errorf("frontier point %v: AIPC %.4f vs exhaustive %.4f (%.1f%%)", e.Point, aipc, e.AIPC, 100*rel)
+		}
+	}
+
+	// Unevaluated points are marked, not silently zero.
+	marked, evaluated := 0, 0
+	for i, r := range guided.Results {
+		if guided.Evaluated[i] {
+			evaluated++
+			if r.Err != nil {
+				t.Errorf("evaluated point %v carries error %v", r.Point, r.Err)
+			}
+			continue
+		}
+		if errors.Is(r.Err, ErrNotEvaluated) {
+			marked++
+		}
+	}
+	if marked+evaluated != len(points) || evaluated == 0 {
+		t.Errorf("evaluated %d + marked %d != %d points", evaluated, marked, len(points))
+	}
+
+	// Same seed, fresh explorer: identical point selection.
+	g2, err := New(WithRunner(fakeCellRunner(new(atomic.Int64))), WithScale(workload.Tiny), WithThreadCounts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guided2, err := g2.SweepGuided(context.Background(), points, apps, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range guided.Evaluated {
+		if guided.Evaluated[i] != guided2.Evaluated[i] {
+			t.Fatalf("point %d: evaluation decision differs across identical seeded runs", i)
+		}
+	}
+}

@@ -27,7 +27,14 @@ type record struct {
 	Threads int     `json:"threads,omitempty"`
 	Cycles  uint64  `json:"cycles,omitempty"`
 	Sim     uint64  `json:"sim_cycles,omitempty"`
-	Err     string  `json:"err,omitempty"`
+	Traffic uint64  `json:"traffic,omitempty"`
+	// Provenance for surrogate training (see Cell); absent on journals
+	// written before these fields existed.
+	ScaleIters     int    `json:"scale_iters,omitempty"`
+	ScaleFootprint int    `json:"scale_fp,omitempty"`
+	K              int    `json:"k,omitempty"`
+	Fault          string `json:"fault,omitempty"`
+	Err            string `json:"err,omitempty"`
 	// Tuning fields (kind "tuning").
 	KOpt  int     `json:"k_opt,omitempty"`
 	UOpt  int     `json:"u_opt,omitempty"`
@@ -127,7 +134,9 @@ func storeRecord(cache *Cache, rec record) {
 		cache.PutCell(Cell{
 			Key: rec.Key, App: rec.App, Arch: rec.Arch,
 			AIPC: rec.AIPC, Threads: rec.Threads,
-			Cycles: rec.Cycles, SimCycles: rec.Sim, Err: rec.Err,
+			Cycles: rec.Cycles, SimCycles: rec.Sim, Traffic: rec.Traffic,
+			ScaleIters: rec.ScaleIters, ScaleFootprint: rec.ScaleFootprint,
+			K: rec.K, FaultDigest: rec.Fault, Err: rec.Err,
 		})
 	case "tuning":
 		cache.PutTuning(rec.Key, design.Tuning{
@@ -213,7 +222,9 @@ func cellRecord(c Cell) record {
 	return record{
 		Kind: "cell", Key: c.Key, App: c.App, Arch: c.Arch,
 		AIPC: c.AIPC, Threads: c.Threads, Cycles: c.Cycles,
-		Sim: c.SimCycles, Err: c.Err,
+		Sim: c.SimCycles, Traffic: c.Traffic,
+		ScaleIters: c.ScaleIters, ScaleFootprint: c.ScaleFootprint,
+		K: c.K, Fault: c.FaultDigest, Err: c.Err,
 	}
 }
 

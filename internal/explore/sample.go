@@ -1,0 +1,61 @@
+package explore
+
+import (
+	"wavescalar/internal/area"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/surrogate"
+	"wavescalar/internal/workload"
+)
+
+// CellSample converts one journaled cell into a surrogate training row.
+// It reports false for cells that carry no training signal: deterministic
+// failures, fault-injected runs (the serving path never answers those
+// from the model), and records journaled before provenance fields existed
+// (no scale to reconstruct the feature vector from).
+//
+// The feature vector is rebuilt from the cell's provenance — parsed
+// architecture, recorded k, scale and winning thread count — over the
+// baseline microarchitecture. Cells produced by exotic ConfigureFuncs
+// (ablation studies) may therefore feature-collide with baseline cells;
+// their content-addressed keys still differ, and for the sweep/serve
+// population the reconstruction is exact.
+func CellSample(c Cell) (surrogate.Sample, bool) {
+	if c.Err != "" || c.Key == "" || c.FaultDigest != "" {
+		return surrogate.Sample{}, false
+	}
+	if c.ScaleIters <= 0 || c.ScaleFootprint <= 0 {
+		return surrogate.Sample{}, false
+	}
+	arch, err := area.ParseArch(c.Arch)
+	if err != nil {
+		return surrogate.Sample{}, false
+	}
+	cfg := sim.Baseline(arch)
+	if c.K > 0 {
+		cfg.K = c.K
+	}
+	threads := c.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	sc := workload.Scale{Iters: c.ScaleIters, Footprint: c.ScaleFootprint}
+	return surrogate.Sample{
+		Key:        c.Key,
+		X:          surrogate.Features(cfg, c.App, sc, threads),
+		AIPC:       c.AIPC,
+		Cycles:     c.Cycles,
+		Traffic:    c.Traffic,
+		HasTraffic: c.Traffic > 0,
+	}, true
+}
+
+// CellSamples converts a batch of cells, dropping the unusable ones.
+func CellSamples(cells []Cell) []surrogate.Sample {
+	out := make([]surrogate.Sample, 0, len(cells))
+	for _, c := range cells {
+		if s, ok := CellSample(c); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,15 +1,19 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
 	"net/http"
+	"os"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"time"
 
@@ -37,6 +41,7 @@ func (s *Server) routes() *http.ServeMux {
 	handle("GET /v1/workloads", s.handleWorkloads)
 	handle("GET /v1/designs", s.handleDesigns)
 	handle("POST /v1/runs", s.handleRun)
+	handle("POST /v1/predict", s.handlePredict)
 	handle("POST /v1/sweeps", s.handleSweep)
 	handle("POST /v1/scenarios", s.handleScenarioPost)
 	handle("GET /v1/scenarios/{digest}", s.handleScenarioGet)
@@ -48,6 +53,7 @@ func (s *Server) routes() *http.ServeMux {
 	handle("POST /v1/cluster/register", s.handleClusterRegister)
 	handle("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
 	handle("POST /v1/cluster/deregister", s.handleClusterDeregister)
+	handle("POST /v1/cluster/journal", s.handleClusterJournal)
 	handle("GET /v1/cluster/workers", s.handleClusterWorkers)
 	return mux
 }
@@ -276,6 +282,111 @@ func cellResult(cell explore.Cell, areaMM2 float64, scale string) runResult {
 	}
 }
 
+// resolvedRun is a runRequest lowered to a runnable cell: the same
+// (config, workload, scale, threads) tuple plus the derived display
+// values. Both /v1/runs and /v1/predict resolve through here, so the
+// predict fallback can serve bytes the run path would have produced.
+type resolvedRun struct {
+	cfg       sim.Config
+	w         workload.Workload
+	scale     workload.Scale
+	scaleName string
+	threads   int
+	areaMM2   float64
+	key       string
+}
+
+// resolveRun validates the per-run fields of a request. The returned
+// status is meaningful only on error.
+func resolveRun(req *runRequest) (resolvedRun, int, error) {
+	if req.Workload == "" {
+		return resolvedRun{}, http.StatusBadRequest, errors.New("workload or scenario is required")
+	}
+	wl, err := workload.ByName(req.Workload)
+	if err != nil {
+		return resolvedRun{}, http.StatusNotFound, err
+	}
+	scaleName := req.Scale
+	if scaleName == "" {
+		scaleName = "tiny"
+	}
+	sc, err := cli.ParseScale(scaleName)
+	if err != nil {
+		return resolvedRun{}, http.StatusBadRequest, err
+	}
+	if req.Threads == 0 {
+		req.Threads = 1
+	}
+	if req.Threads < 0 {
+		return resolvedRun{}, http.StatusBadRequest, fmt.Errorf("threads %d must be positive", req.Threads)
+	}
+	cfg, err := req.Config.resolve()
+	if err != nil {
+		return resolvedRun{}, http.StatusBadRequest, fmt.Errorf("bad config: %w", err)
+	}
+	if !req.Fault.Empty() {
+		if err := req.Fault.Validate(sim.FaultShape(cfg)); err != nil {
+			return resolvedRun{}, http.StatusBadRequest, fmt.Errorf("bad fault script: %w", err)
+		}
+		cfg.Fault = req.Fault
+	}
+	return resolvedRun{
+		cfg: cfg, w: wl, scale: sc, scaleName: scaleName,
+		threads: req.Threads, areaMM2: area.Total(cfg.Arch),
+		key: explore.CellKey(cfg, wl.Name, sc, []int{req.Threads}),
+	}, 0, nil
+}
+
+// serveRun answers a resolved run exactly like POST /v1/runs: cache fast
+// path, singleflight join, bounded admission, timed wait. /v1/predict
+// falls back through this same function, so a low-confidence prediction
+// and a plain run produce byte-identical responses.
+func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, res resolvedRun, timeoutS float64) {
+	// Fast path: the cache (memory or replayed journal) already has it.
+	if cell, ok := s.cache.Cell(res.key); ok {
+		writeJSON(w, http.StatusOK, runResponse{Key: res.key, Cached: true, Result: cellResult(cell, res.areaMM2, res.scaleName)})
+		return
+	}
+	if s.isClosing() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+
+	call, leader := s.flight.join(res.key)
+	if leader {
+		jb := &job{
+			kind: "run", key: res.key, call: call,
+			run: &runSpec{cfg: res.cfg, w: res.w, scale: res.scale, threadCounts: []int{res.threads}},
+		}
+		if err := s.admit(r, jb); err != nil {
+			s.flight.abandon(res.key, call, err)
+			s.writeAdmissionErr(w, err)
+			return
+		}
+	} else {
+		s.metrics.add(&s.metrics.dedupShared, 1)
+	}
+
+	timeout := s.requestTimeout
+	if timeoutS > 0 {
+		timeout = time.Duration(timeoutS * float64(time.Second))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	select {
+	case <-call.done:
+		if call.err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v", call.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, runResponse{Key: res.key, Cached: false, Result: cellResult(call.cell, res.areaMM2, res.scaleName)})
+	case <-ctx.Done():
+		// The simulation keeps running and will be cached; a retry after
+		// it completes is a cache hit.
+		writeErr(w, http.StatusGatewayTimeout, "deadline exceeded waiting for simulation; retry later for the cached result")
+	}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
 	dec := json.NewDecoder(r.Body)
@@ -288,89 +399,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.handleScenarioRun(w, r, &req)
 		return
 	}
-	if req.Workload == "" {
-		writeErr(w, http.StatusBadRequest, "workload or scenario is required")
-		return
-	}
-	wl, err := workload.ByName(req.Workload)
+	res, status, err := resolveRun(&req)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeErr(w, status, "%v", err)
 		return
 	}
-	scaleName := req.Scale
-	if scaleName == "" {
-		scaleName = "tiny"
-	}
-	sc, err := cli.ParseScale(scaleName)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if req.Threads == 0 {
-		req.Threads = 1
-	}
-	if req.Threads < 0 {
-		writeErr(w, http.StatusBadRequest, "threads %d must be positive", req.Threads)
-		return
-	}
-	cfg, err := req.Config.resolve()
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad config: %v", err)
-		return
-	}
-	if !req.Fault.Empty() {
-		if err := req.Fault.Validate(sim.FaultShape(cfg)); err != nil {
-			writeErr(w, http.StatusBadRequest, "bad fault script: %v", err)
-			return
-		}
-		cfg.Fault = req.Fault
-	}
-	areaMM2 := area.Total(cfg.Arch)
-	key := explore.CellKey(cfg, wl.Name, sc, []int{req.Threads})
-
-	// Fast path: the cache (memory or replayed journal) already has it.
-	if cell, ok := s.cache.Cell(key); ok {
-		writeJSON(w, http.StatusOK, runResponse{Key: key, Cached: true, Result: cellResult(cell, areaMM2, scaleName)})
-		return
-	}
-	if s.isClosing() {
-		writeErr(w, http.StatusServiceUnavailable, "shutting down")
-		return
-	}
-
-	call, leader := s.flight.join(key)
-	if leader {
-		jb := &job{
-			kind: "run", key: key, call: call,
-			run: &runSpec{cfg: cfg, w: wl, scale: sc, threadCounts: []int{req.Threads}},
-		}
-		if err := s.admit(r, jb); err != nil {
-			s.flight.abandon(key, call, err)
-			s.writeAdmissionErr(w, err)
-			return
-		}
-	} else {
-		s.metrics.add(&s.metrics.dedupShared, 1)
-	}
-
-	timeout := s.requestTimeout
-	if req.TimeoutS > 0 {
-		timeout = time.Duration(req.TimeoutS * float64(time.Second))
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-	select {
-	case <-call.done:
-		if call.err != nil {
-			writeErr(w, http.StatusServiceUnavailable, "%v", call.err)
-			return
-		}
-		writeJSON(w, http.StatusOK, runResponse{Key: key, Cached: false, Result: cellResult(call.cell, areaMM2, scaleName)})
-	case <-ctx.Done():
-		// The simulation keeps running and will be cached; a retry after
-		// it completes is a cache hit.
-		writeErr(w, http.StatusGatewayTimeout, "deadline exceeded waiting for simulation; retry later for the cached result")
-	}
+	s.serveRun(w, r, res, req.TimeoutS)
 }
 
 // sweepRequest is the body of POST /v1/sweeps: a suite, explicit app
@@ -716,6 +750,57 @@ func (s *Server) handleClusterDeregister(w http.ResponseWriter, r *http.Request)
 	writeJSON(w, http.StatusOK, map[string]any{"ok": found, "version": version.Get("wsd")})
 }
 
+// handleClusterJournal folds a worker's shipped journal delta into the
+// coordinator's result space. The body is raw JSONL — the exact bytes
+// of the worker's journal tail — staged to a temp file and merged
+// through the explorer's idempotent MergeJournal: new cells land in the
+// coordinator's cache *and* journal (so the merge survives the next
+// warm restart), already-known keys are skipped. This is what keeps a
+// worker cold-restart from losing cells it simulated outside a sweep.
+func (s *Server) handleClusterJournal(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	if s.isClosing() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	received := bytes.Count(body, []byte{'\n'})
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		received++
+	}
+	tmp, err := os.CreateTemp("", "wsd-journal-*.jsonl")
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "staging journal delta: %v", err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	_, werr := tmp.Write(body)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		writeErr(w, http.StatusInternalServerError, "staging journal delta: %v", werr)
+		return
+	}
+	merged, err := s.exp.MergeJournal(tmp.Name())
+	if err != nil {
+		// Partial merges are fine (idempotence makes the re-ship safe);
+		// tell the worker so it retries the whole delta.
+		writeErr(w, http.StatusBadRequest, "merging journal delta: %v", err)
+		return
+	}
+	s.metrics.add(&s.metrics.journalMerged, uint64(merged))
+	writeJSON(w, http.StatusOK, cluster.JournalResponse{
+		Received: received, Merged: merged, Version: version.Get("wsd"),
+	})
+}
+
 func (s *Server) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
 	if !s.requireCoordinator(w) {
 		return
@@ -844,6 +929,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"requeues":     cs.Requeues,
 		}
 	}
+	if s.sur != nil {
+		info := map[string]any{"threshold": s.sur.threshold, "trained": s.sur.model != nil}
+		if s.sur.model != nil {
+			info["kind"] = s.sur.model.Kind
+			info["samples"] = s.sur.model.Samples
+		}
+		body["surrogate"] = info
+	}
 	if s.isClosing() {
 		body["status"] = "draining"
 		writeJSON(w, http.StatusServiceUnavailable, body)
@@ -903,5 +996,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP wsd_cluster_lease_expirations_total Workers dropped for missing heartbeats.\n")
 		fmt.Fprintf(w, "# TYPE wsd_cluster_lease_expirations_total counter\n")
 		fmt.Fprintf(w, "wsd_cluster_lease_expirations_total %d\n", cs.LeaseExpirations)
+		s.metrics.mu.Lock()
+		merged := s.metrics.journalMerged
+		s.metrics.mu.Unlock()
+		fmt.Fprintf(w, "# HELP wsd_cluster_journal_merged_total New cells folded in from shipped worker journal deltas.\n")
+		fmt.Fprintf(w, "# TYPE wsd_cluster_journal_merged_total counter\n")
+		fmt.Fprintf(w, "wsd_cluster_journal_merged_total %d\n", merged)
+	}
+
+	// Surrogate serving metrics exist only when a model was configured.
+	if s.sur != nil {
+		s.sur.mu.Lock()
+		predictions := s.sur.predictions
+		reasons := make([]string, 0, len(s.sur.fallbacks))
+		for reason := range s.sur.fallbacks {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		counts := make([]uint64, len(reasons))
+		for i, reason := range reasons {
+			counts[i] = s.sur.fallbacks[reason]
+		}
+		validations, errSum := s.sur.validations, s.sur.errSum
+		s.sur.mu.Unlock()
+
+		fmt.Fprintf(w, "# HELP wsd_surrogate_predictions_total /v1/predict requests answered from the model without simulating.\n")
+		fmt.Fprintf(w, "# TYPE wsd_surrogate_predictions_total counter\n")
+		fmt.Fprintf(w, "wsd_surrogate_predictions_total %d\n", predictions)
+		fmt.Fprintf(w, "# HELP wsd_surrogate_fallbacks_total /v1/predict requests that fell back to the simulation pipeline, by reason.\n")
+		fmt.Fprintf(w, "# TYPE wsd_surrogate_fallbacks_total counter\n")
+		for i, reason := range reasons {
+			fmt.Fprintf(w, "wsd_surrogate_fallbacks_total{reason=%q} %d\n", reason, counts[i])
+		}
+		fmt.Fprintf(w, "# HELP wsd_surrogate_validations_total Predicted cells later simulated for real (the observed-error sample count).\n")
+		fmt.Fprintf(w, "# TYPE wsd_surrogate_validations_total counter\n")
+		fmt.Fprintf(w, "wsd_surrogate_validations_total %d\n", validations)
+		fmt.Fprintf(w, "# HELP wsd_surrogate_observed_error_sum Summed relative AIPC error of validated predictions (divide by validations for the mean).\n")
+		fmt.Fprintf(w, "# TYPE wsd_surrogate_observed_error_sum counter\n")
+		fmt.Fprintf(w, "wsd_surrogate_observed_error_sum %g\n", errSum)
+		if s.sur.model != nil {
+			fmt.Fprintf(w, "# HELP wsd_surrogate_model_samples Training-set size of the serving model.\n")
+			fmt.Fprintf(w, "# TYPE wsd_surrogate_model_samples gauge\n")
+			fmt.Fprintf(w, "wsd_surrogate_model_samples %d\n", s.sur.model.Samples)
+		}
+		fmt.Fprintf(w, "# HELP wsd_surrogate_confidence_threshold RelAIPC gate above which /v1/predict falls back to simulation.\n")
+		fmt.Fprintf(w, "# TYPE wsd_surrogate_confidence_threshold gauge\n")
+		fmt.Fprintf(w, "wsd_surrogate_confidence_threshold %g\n", s.sur.threshold)
 	}
 }

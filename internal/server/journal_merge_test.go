@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wavescalar/internal/cluster"
+)
+
+// TestClusterJournalMerge drives the worker→coordinator durability path
+// end to end with the real shipper: a cell simulated only on a worker is
+// shipped to the coordinator's /v1/cluster/journal, lands in its cache
+// (served cached:true) and its own journal, and a full re-ship after a
+// lost offset merges zero new records.
+func TestClusterJournalMerge(t *testing.T) {
+	dir := t.TempDir()
+	workerJournal := filepath.Join(dir, "worker.jsonl")
+	body := `{"workload":"fft","scale":"tiny","threads":1,"config":{"clusters":2,"virt":32,"match":32}}`
+
+	// A worker-local run: this cell exists only in the worker's journal.
+	srvW, err := New(WithWorkers(2), WithJournal(workerJournal, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsW := httptest.NewServer(srvW)
+	runResp := decode[runResponse](t, post(t, tsW.URL+"/v1/runs", body))
+	tsW.Close()
+	if err := srvW.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srvC, err := New(WithRole(RoleCoordinator),
+		WithJournal(filepath.Join(dir, "coord.jsonl"), false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsC := httptest.NewServer(srvC)
+	defer tsC.Close()
+	defer srvC.Close()
+
+	sh := &cluster.Shipper{Coordinator: tsC.URL, JournalPath: workerJournal,
+		Logf: t.Logf}
+	n, err := sh.ShipOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("shipped %d records, want >= 1", n)
+	}
+
+	// The coordinator now serves the worker's measurement from cache.
+	got := decode[runResponse](t, post(t, tsC.URL+"/v1/runs", body))
+	if !got.Cached {
+		t.Error("coordinator simulated a cell the worker already shipped")
+	}
+	if got.Key != runResp.Key || got.Result != runResp.Result {
+		t.Errorf("coordinator result diverges: %+v vs worker %+v", got, runResp)
+	}
+
+	// A restarted shipper (offset lost) re-ships everything; merging is
+	// idempotent, so the coordinator's merged counter must not move.
+	merged := scrapeMetric(t, tsC.URL, "wsd_cluster_journal_merged_total")
+	fresh := &cluster.Shipper{Coordinator: tsC.URL, JournalPath: workerJournal,
+		Logf: t.Logf}
+	if _, err := fresh.ShipOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if again := scrapeMetric(t, tsC.URL, "wsd_cluster_journal_merged_total"); again != merged {
+		t.Errorf("re-ship merged new records: counter %s -> %s", merged, again)
+	}
+}
+
+// scrapeMetric returns the value token of one metric line.
+func scrapeMetric(t *testing.T, baseURL, name string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("metric %s not exposed", name)
+	return ""
+}

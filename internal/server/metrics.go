@@ -26,6 +26,7 @@ type metrics struct {
 	journalErrors                            uint64
 	panics                                   uint64
 	faultSims                                uint64
+	journalMerged                            uint64
 }
 
 func newMetrics() *metrics {

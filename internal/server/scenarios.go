@@ -11,9 +11,13 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"wavescalar/internal/area"
@@ -24,6 +28,89 @@ import (
 	"wavescalar/internal/sim"
 	"wavescalar/internal/workload"
 )
+
+// WithScenarioStore persists the scenario store to a JSONL file
+// alongside the journal: every newly created scenario is appended as
+// one canonical JSON line, and existing lines are reloaded at startup —
+// so a warm restart serves GET /v1/scenarios/{digest} (and runs by
+// digest) for everything clients ever stored. Storage stays
+// content-addressed: reloading re-derives each digest from the
+// document, and duplicate lines (from overlapping daemons sharing a
+// file) collapse into one entry.
+func WithScenarioStore(path string) Option {
+	return func(s *Server) error {
+		if path == "" {
+			return fmt.Errorf("%w: empty scenario-store path", design.ErrBadOptions)
+		}
+		s.scnPath = path
+		return nil
+	}
+}
+
+// openScenarioStore reloads and opens the scenario store configured by
+// WithScenarioStore (a no-op without it). Mirroring the journal's crash
+// tolerance, a torn final line is skipped with a warning; corruption
+// anywhere else fails startup.
+func (s *Server) openScenarioStore() error {
+	if s.scnPath == "" {
+		return nil
+	}
+	f, err := os.Open(s.scnPath)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("server: open scenario store: %w", err)
+	}
+	if err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		line := 0
+		var pendingErr error
+		for sc.Scan() {
+			line++
+			if pendingErr != nil {
+				f.Close()
+				return pendingErr
+			}
+			doc, perr := scenario.Parse(sc.Bytes())
+			if perr != nil {
+				pendingErr = fmt.Errorf("server: scenario store %s line %d: %w", s.scnPath, line, perr)
+				continue
+			}
+			s.scenarios[doc.Digest()] = doc
+		}
+		serr := sc.Err()
+		f.Close()
+		if serr != nil {
+			return fmt.Errorf("server: reading scenario store %s: %w", s.scnPath, serr)
+		}
+		if pendingErr != nil {
+			log.Printf("server: scenario store: skipping torn trailing record: %v", pendingErr)
+		}
+	}
+	s.scnFile, err = os.OpenFile(s.scnPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: open scenario store for append: %w", err)
+	}
+	return nil
+}
+
+// appendScenario persists one newly created scenario as a canonical
+// JSON line. Callers hold scnMu (the same lock ordering as the map
+// insert, so concurrent creates serialize their lines). Failures are
+// durability problems, not serving problems: the scenario stays served
+// from memory and the error surfaces as wsd_journal_errors_total.
+func (s *Server) appendScenario(doc *scenario.Scenario) {
+	if s.scnFile == nil {
+		return
+	}
+	b, err := json.Marshal(doc)
+	if err == nil {
+		_, err = s.scnFile.Write(append(b, '\n'))
+	}
+	if err != nil {
+		log.Printf("server: scenario store append: %v", err)
+		s.metrics.add(&s.metrics.journalErrors, 1)
+	}
+}
 
 // scenarioResponse is the wire form of a stored scenario.
 type scenarioResponse struct {
@@ -58,6 +145,7 @@ func (s *Server) handleScenarioPost(w http.ResponseWriter, r *http.Request) {
 	_, exists := s.scenarios[digest]
 	if !exists {
 		s.scenarios[digest] = sc
+		s.appendScenario(sc)
 	}
 	s.scnMu.Unlock()
 	status := http.StatusOK

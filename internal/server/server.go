@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -218,6 +219,17 @@ type Server struct {
 	clusterOpt     cluster.Options
 	quotas         *tenantQuotas
 
+	// Surrogate serving configuration (WithSurrogate*); sur is nil when
+	// /v1/predict should always fall back.
+	surModelPath string
+	surTrain     bool
+	surThreshold float64
+	sur          *surrogateState
+
+	// Scenario-store persistence (WithScenarioStore).
+	scnPath string
+	scnFile *os.File
+
 	exp     *explore.Explorer
 	coord   *cluster.Coordinator // non-nil only for RoleCoordinator
 	mux     *http.ServeMux
@@ -282,6 +294,17 @@ func New(opts ...Option) (*Server, error) {
 		return nil, err
 	}
 	s.exp = exp
+	// The surrogate trains (or loads) after the journal replay, so a warm
+	// restart's cells are its training set.
+	s.sur, err = s.newSurrogateState()
+	if err != nil {
+		exp.Close()
+		return nil, err
+	}
+	if err := s.openScenarioStore(); err != nil {
+		exp.Close()
+		return nil, err
+	}
 	if s.coord != nil {
 		s.coord.Start()
 	}
@@ -401,6 +424,9 @@ func (s *Server) execute(jb *job) {
 				s.metrics.add(&s.metrics.simsCompleted, 1)
 			}
 		}
+		// A real measurement of a cell the surrogate once answered closes
+		// the loop on the model's observed error.
+		s.sur.observe(jb.key, cell)
 		s.flight.complete(jb.key, jb.call, cell, nil)
 
 	case "scenario":
@@ -491,7 +517,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.coord != nil {
 		s.coord.Stop()
 	}
-	return s.exp.Close()
+	err := s.exp.Close()
+	if s.scnFile != nil {
+		if cerr := s.scnFile.Close(); err == nil {
+			err = cerr
+		}
+		s.scnFile = nil
+	}
+	return err
 }
 
 // Close shuts down immediately: in-flight simulations are cancelled, not

@@ -1,0 +1,131 @@
+package surrogate
+
+import (
+	"hash/fnv"
+	"math"
+
+	"wavescalar/internal/area"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// appHashBuckets is the width of the workload-name hash embedding: a
+// one-hot bucket per application lets the model learn per-app offsets
+// (e.g. fft is memory-bound, lu is not) without an unbounded vocabulary.
+const appHashBuckets = 8
+
+// featureNames is the fixed feature schema, version "v1". Order is part
+// of a serialized model's contract: Predictor.Features records it, and
+// Decode refuses a model whose schema does not match this package's.
+var featureNames = []string{
+	// Machine shape (log2: the design space is geometric).
+	"log2_clusters", "log2_domains", "log2_pes", "log2_virt", "log2_match",
+	"log2_l1kb", "log2_l2mb1", "log2_total_pes", "log2_capacity", "log2_area",
+	// Microarchitectural knobs that vary across tunings and ablations.
+	"k", "match_assoc", "spec_fire", "input_window", "outq_cap",
+	"noc_bw", "l1_lat", "l2_lat", "mem_lat",
+	// Workload scale and threading.
+	"log2_scale_iters", "log2_scale_fp", "log2_threads",
+	// Suite one-hot.
+	"suite_spec", "suite_media", "suite_splash", "suite_tiled",
+	// Tiled-kernel structure (zero for non-tiled workloads).
+	"tiled_gemm", "tiled_conv", "order_pos0", "order_pos1", "order_pos2",
+	"log2_tile0", "log2_tile1", "log2_tile2",
+	// Fault-injection presence (models are trained on clean cells only;
+	// the serving path falls back to real simulation for faulty configs).
+	"fault",
+	// Workload-name hash embedding.
+	"app_h0", "app_h1", "app_h2", "app_h3", "app_h4", "app_h5", "app_h6", "app_h7",
+}
+
+// FeatureNames returns the ordered feature schema (a copy).
+func FeatureNames() []string { return append([]string(nil), featureNames...) }
+
+// orderPos maps a tiled kernel's dataflow order to its position in the
+// family's canonical order list, one-hot encoded below.
+var orderPos = map[string]map[string]int{
+	"gemm": {"os": 0, "as": 1, "bs": 2},
+	"conv": {"ws": 0, "os": 1, "is": 2},
+}
+
+func log2p1(v float64) float64 { return math.Log2(v + 1) }
+
+// Features maps one cell identity — the resolved simulator configuration,
+// workload name, scale and thread count — to the numeric vector the
+// models consume, in featureNames order. It is pure and deterministic:
+// the same inputs always produce the same vector.
+func Features(cfg sim.Config, app string, sc workload.Scale, threads int) []float64 {
+	p := cfg.Arch
+	x := make([]float64, 0, len(featureNames))
+	x = append(x,
+		math.Log2(float64(p.Clusters)),
+		math.Log2(float64(p.Domains)),
+		math.Log2(float64(p.PEs)),
+		math.Log2(float64(p.Virt)),
+		math.Log2(float64(p.Match)),
+		math.Log2(float64(p.L1KB)),
+		log2p1(float64(p.L2MB)),
+		math.Log2(float64(p.TotalPEs())),
+		math.Log2(float64(p.Capacity())),
+		math.Log2(area.Total(p)),
+	)
+	spec := 0.0
+	if cfg.SpecFire {
+		spec = 1
+	}
+	x = append(x,
+		float64(cfg.K), float64(cfg.MatchAssoc), spec,
+		float64(cfg.InputWindow), float64(cfg.OutQCap),
+		float64(cfg.NocBW), float64(cfg.L1Lat), float64(cfg.L2Lat), float64(cfg.MemLat),
+	)
+	x = append(x,
+		log2p1(float64(sc.Iters)), log2p1(float64(sc.Footprint)), log2p1(float64(threads)),
+	)
+
+	var suite [4]float64
+	if w, err := workload.ByName(app); err == nil {
+		switch w.Suite {
+		case workload.Spec:
+			suite[0] = 1
+		case workload.Media:
+			suite[1] = 1
+		case workload.Splash:
+			suite[2] = 1
+		case workload.Tiled:
+			suite[3] = 1
+		}
+	}
+	x = append(x, suite[0], suite[1], suite[2], suite[3])
+
+	var gemm, conv float64
+	var opos [3]float64
+	var tile [3]float64
+	if family, order, dims, ok := workload.TiledInfo(app); ok {
+		switch family {
+		case "gemm":
+			gemm = 1
+		case "conv":
+			conv = 1
+		}
+		if pos, ok := orderPos[family][order]; ok {
+			opos[pos] = 1
+		}
+		for i, d := range dims {
+			tile[i] = log2p1(float64(d))
+		}
+	}
+	x = append(x, gemm, conv, opos[0], opos[1], opos[2], tile[0], tile[1], tile[2])
+
+	faulty := 0.0
+	if !cfg.Fault.Empty() {
+		faulty = 1
+	}
+	x = append(x, faulty)
+
+	h := fnv.New32a()
+	h.Write([]byte(app))
+	var buckets [appHashBuckets]float64
+	buckets[h.Sum32()%appHashBuckets] = 1
+	x = append(x, buckets[:]...)
+	return x
+}

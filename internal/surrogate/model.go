@@ -1,0 +1,254 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ridgeModel is L2-regularized linear regression over standardized
+// features: y ≈ intercept + w · (x − mean)/std. Zero-variance columns
+// get std 1 and thus weight exactly 0 (their centered values are all
+// zero), so constant features are harmless.
+type ridgeModel struct {
+	Mean      []float64 `json:"mean"`
+	Std       []float64 `json:"std"`
+	Weights   []float64 `json:"weights"`
+	Intercept float64   `json:"intercept"`
+}
+
+func fitRidge(xs [][]float64, ys []float64, lambda float64) (*ridgeModel, error) {
+	n, d := len(xs), len(xs[0])
+	m := &ridgeModel{Mean: make([]float64, d), Std: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += xs[i][j]
+		}
+		m.Mean[j] = sum / float64(n)
+		v := 0.0
+		for i := 0; i < n; i++ {
+			dx := xs[i][j] - m.Mean[j]
+			v += dx * dx
+		}
+		m.Std[j] = math.Sqrt(v / float64(n))
+		if m.Std[j] == 0 {
+			m.Std[j] = 1
+		}
+	}
+	ysum := 0.0
+	for _, y := range ys {
+		ysum += y
+	}
+	m.Intercept = ysum / float64(n)
+
+	// Normal equations on standardized, centered data: (Z'Z + λI) w = Z'y.
+	z := func(i, j int) float64 { return (xs[i][j] - m.Mean[j]) / m.Std[j] }
+	a := make([][]float64, d)
+	b := make([]float64, d)
+	for j := 0; j < d; j++ {
+		a[j] = make([]float64, d)
+		for k := j; k < d; k++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += z(i, j) * z(i, k)
+			}
+			a[j][k] = s
+		}
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += z(i, j) * (ys[i] - m.Intercept)
+		}
+		b[j] = s
+	}
+	for j := 0; j < d; j++ {
+		for k := 0; k < j; k++ {
+			a[j][k] = a[k][j]
+		}
+		a[j][j] += lambda
+	}
+	w, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	m.Weights = w
+	return m, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy-free
+// (caller-owned) augmented system a·x = b.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	d := len(b)
+	for col := 0; col < d; col++ {
+		pivot := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("surrogate: singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < d; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < d; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, d)
+	for r := d - 1; r >= 0; r-- {
+		s := b[r]
+		for k := r + 1; k < d; k++ {
+			s -= a[r][k] * x[k]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+func (m *ridgeModel) predict(x []float64) float64 {
+	y := m.Intercept
+	for j, w := range m.Weights {
+		y += w * (x[j] - m.Mean[j]) / m.Std[j]
+	}
+	return y
+}
+
+// stump is one depth-1 regression tree: value Left when x[Feature] <=
+// Threshold, Right otherwise.
+type stump struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      float64 `json:"l"`
+	Right     float64 `json:"r"`
+}
+
+// gbmModel is a gradient-boosted ensemble of regression stumps fit on
+// squared error: prediction = Base + Rate · Σ stumps. Fitting is fully
+// deterministic — features are scanned in schema order, candidate
+// thresholds in ascending order, and ties keep the first candidate.
+type gbmModel struct {
+	Base   float64 `json:"base"`
+	Rate   float64 `json:"rate"`
+	Stumps []stump `json:"stumps"`
+}
+
+// maxThresholds caps the split candidates per feature (quantile
+// midpoints), bounding fit cost on large journals.
+const maxThresholds = 16
+
+func fitGBM(xs [][]float64, ys []float64, rounds int, rate float64) *gbmModel {
+	n, d := len(xs), len(xs[0])
+	base := 0.0
+	for _, y := range ys {
+		base += y
+	}
+	base /= float64(n)
+	m := &gbmModel{Base: base, Rate: rate}
+
+	// Precompute candidate thresholds per feature once.
+	cands := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vals[i] = xs[i][j]
+		}
+		sort.Float64s(vals)
+		uniq := vals[:0]
+		for i, v := range vals {
+			if i == 0 || v != uniq[len(uniq)-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		if len(uniq) < 2 {
+			continue // constant feature: never splittable
+		}
+		step := 1
+		if len(uniq)-1 > maxThresholds {
+			step = (len(uniq) - 1) / maxThresholds
+		}
+		var ts []float64
+		for i := 0; i+1 < len(uniq); i += step {
+			ts = append(ts, (uniq[i]+uniq[i+1])/2)
+		}
+		cands[j] = ts
+	}
+
+	resid := make([]float64, n)
+	for i := range ys {
+		resid[i] = ys[i] - base
+	}
+	for r := 0; r < rounds; r++ {
+		bestSSE := math.Inf(1)
+		var bestStump stump
+		found := false
+		for j := 0; j < d; j++ {
+			for _, t := range cands[j] {
+				var sumL, sumR float64
+				var nL, nR int
+				for i := 0; i < n; i++ {
+					if xs[i][j] <= t {
+						sumL += resid[i]
+						nL++
+					} else {
+						sumR += resid[i]
+						nR++
+					}
+				}
+				if nL == 0 || nR == 0 {
+					continue
+				}
+				// SSE reduction is maximized by maximizing
+				// sumL²/nL + sumR²/nR; minimize the negated form.
+				gain := sumL*sumL/float64(nL) + sumR*sumR/float64(nR)
+				if sse := -gain; sse < bestSSE {
+					bestSSE = sse
+					bestStump = stump{
+						Feature: j, Threshold: t,
+						Left: sumL / float64(nL), Right: sumR / float64(nR),
+					}
+					found = true
+				}
+			}
+		}
+		if !found || bestSSE == 0 {
+			break
+		}
+		m.Stumps = append(m.Stumps, bestStump)
+		improved := false
+		for i := 0; i < n; i++ {
+			v := bestStump.Right
+			if xs[i][bestStump.Feature] <= bestStump.Threshold {
+				v = bestStump.Left
+			}
+			if v != 0 {
+				improved = true
+			}
+			resid[i] -= rate * v
+		}
+		if !improved {
+			m.Stumps = m.Stumps[:len(m.Stumps)-1]
+			break
+		}
+	}
+	return m
+}
+
+func (m *gbmModel) predict(x []float64) float64 {
+	y := m.Base
+	for _, s := range m.Stumps {
+		if x[s.Feature] <= s.Threshold {
+			y += m.Rate * s.Left
+		} else {
+			y += m.Rate * s.Right
+		}
+	}
+	return y
+}

@@ -1,0 +1,214 @@
+package surrogate
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// synthSamples builds a learnable training set from real feature
+// vectors: AIPC is a smooth function of the architecture axes, so a
+// competent learner must achieve a decent fit and a shuffled copy must
+// train identically.
+func synthSamples(t *testing.T) []Sample {
+	t.Helper()
+	sc := workload.Tiny
+	var out []Sample
+	for _, clusters := range []int{1, 4, 16} {
+		for _, virt := range []int{16, 64, 256} {
+			for _, app := range []string{"fft", "lu", "gemm_os_4x4x4"} {
+				arch := sim.BaselineArch()
+				arch.Clusters = clusters
+				arch.Virt = virt
+				arch.Match = virt
+				cfg := sim.Baseline(arch)
+				aipc := 0.5*math.Log2(float64(clusters)) + 0.1*math.Log2(float64(virt)) + 0.01*float64(len(app))
+				out = append(out, Sample{
+					Key:        cfg.Arch.String() + "|" + app,
+					X:          Features(cfg, app, sc, 1),
+					AIPC:       aipc,
+					Cycles:     uint64(1000 * (1 + clusters)),
+					Traffic:    uint64(100 * virt),
+					HasTraffic: true,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TestTrainDeterministic is the byte-identity gate: the same samples and
+// seed must serialize to the same bytes regardless of sample order, for
+// both learners.
+func TestTrainDeterministic(t *testing.T) {
+	samples := synthSamples(t)
+	for _, kind := range []string{"gbm", "ridge"} {
+		opt := Options{Kind: kind, Seed: 7}
+		a, err := Train(samples, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		shuffled := append([]Sample(nil), samples...)
+		rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		b, err := Train(shuffled, opt)
+		if err != nil {
+			t.Fatalf("%s shuffled: %v", kind, err)
+		}
+		ab, err := a.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := b.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("%s: shuffled training order changed the serialized model", kind)
+		}
+		// A different seed permutes the folds and must (in general)
+		// change the bytes — guard against a seed that is silently
+		// ignored.
+		c, err := Train(samples, Options{Kind: kind, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := c.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(ab, cb) {
+			t.Errorf("%s: seed change did not affect the model", kind)
+		}
+	}
+}
+
+func TestTrainFitsLearnableTarget(t *testing.T) {
+	p, err := Train(synthSamples(t), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range p.Metrics {
+		if m.CV.R2 < 0.5 {
+			t.Errorf("metric %s: cross-validated R² %.3f, want >= 0.5 on a smooth target", m.Name, m.CV.R2)
+		}
+	}
+	if m := p.metric(MetricAIPC); m == nil {
+		t.Fatal("no aipc model trained")
+	}
+	// Predictions on a training point land near the target with finite,
+	// positive uncertainty.
+	s := synthSamples(t)[0]
+	pred := p.Predict(s.X)
+	if math.Abs(pred.AIPC-s.AIPC) > 0.5 {
+		t.Errorf("prediction %.3f far from target %.3f", pred.AIPC, s.AIPC)
+	}
+	if pred.SigmaAIPC <= 0 || math.IsNaN(pred.SigmaAIPC) {
+		t.Errorf("sigma %v, want positive", pred.SigmaAIPC)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p, err := Train(synthSamples(t), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := synthSamples(t)[4].X
+	if got, want := q.Predict(x), p.Predict(x); got != want {
+		t.Errorf("round-tripped prediction %+v != original %+v", got, want)
+	}
+	// Version and schema guards reject foreign files.
+	if _, err := Decode(bytes.Replace(b, []byte(`"v1"`), []byte(`"v0"`), 1)); err == nil {
+		t.Error("Decode accepted a wrong version")
+	}
+	if _, err := Decode([]byte(`{"surrogate":"v1","features":["x"]}`)); err == nil {
+		t.Error("Decode accepted a wrong feature schema")
+	}
+}
+
+func TestTrainTooFewSamples(t *testing.T) {
+	if _, err := Train(nil, Options{}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("got %v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	if got := ExpectedImprovement(2, 0, 1); got != 1 {
+		t.Errorf("zero-sigma EI above best = %v, want 1", got)
+	}
+	if got := ExpectedImprovement(1, 0, 2); got != 0 {
+		t.Errorf("zero-sigma EI below best = %v, want 0", got)
+	}
+	// EI grows with uncertainty when the mean is below the incumbent.
+	lo, hi := ExpectedImprovement(1, 0.1, 2), ExpectedImprovement(1, 1.0, 2)
+	if !(hi > lo && lo > 0) {
+		t.Errorf("EI not increasing in sigma: sigma 0.1 -> %v, sigma 1.0 -> %v", lo, hi)
+	}
+}
+
+// TestPairImportance checks the empirical Δ-regression: when the target
+// moves only with one feature, that feature must carry (nearly) all the
+// importance mass.
+func TestPairImportance(t *testing.T) {
+	d := len(FeatureNames())
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 8; i++ {
+		// Feature 3 drives y; feature 0 varies but is irrelevant; the
+		// rest are constant.
+		x := make([]float64, d)
+		x[0] = float64(i % 3)
+		x[3] = float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 3*float64(i))
+	}
+	imp := PairImportance(xs, ys, 0)
+	if len(imp) != d {
+		t.Fatalf("got %d importances, want %d", len(imp), d)
+	}
+	for j := range imp {
+		if j != 3 && imp[3] < 10*imp[j] {
+			t.Errorf("importance: feature 3 (%.4f) should dominate feature %d (%.4f)", imp[3], j, imp[j])
+		}
+	}
+}
+
+func TestAdvisor(t *testing.T) {
+	p, err := Train(synthSamples(t), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := sim.BaselineArch()
+	arch.Clusters = 4
+	arch.Virt = 64
+	arch.Match = 64
+	cfg := sim.Baseline(arch)
+	advise := p.Advisor("fft", workload.Tiny, 1, 10) // generous gate: must answer
+	aipc, ok := advise(cfg)
+	if !ok {
+		t.Fatal("advisor declined under a generous gate")
+	}
+	want := p.Predict(Features(cfg, "fft", workload.Tiny, 1)).AIPC
+	if aipc != want {
+		t.Errorf("advisor %.4f != direct prediction %.4f", aipc, want)
+	}
+	// An impossible gate must decline rather than prune on noise.
+	strict := p.Advisor("fft", workload.Tiny, 1, 1e-12)
+	if _, ok := strict(cfg); ok {
+		t.Error("advisor answered under an impossibly strict gate")
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"wavescalar/internal/scenario"
 	"wavescalar/internal/server"
 	"wavescalar/internal/sim"
+	"wavescalar/internal/surrogate"
 	"wavescalar/internal/trace"
 	"wavescalar/internal/workload"
 )
@@ -594,6 +595,78 @@ func ServerTenantQuota(n int) ServerOption { return server.WithTenantQuota(n) }
 // ServerRetryAfter sets the base Retry-After hint on 429 responses
 // (default 2s); the served value is jittered ±20%.
 func ServerRetryAfter(d time.Duration) ServerOption { return server.WithRetryAfter(d) }
+
+// ServerScenarioStore persists the scenario store to a JSONL file:
+// created scenarios append as canonical JSON lines and reload at
+// startup, so a warm restart still serves every stored digest.
+func ServerScenarioStore(path string) ServerOption { return server.WithScenarioStore(path) }
+
+// ServerSurrogateModel serves /v1/predict from the model file at path
+// (written by `wssurrogate train`).
+func ServerSurrogateModel(path string) ServerOption { return server.WithSurrogateModel(path) }
+
+// ServerSurrogateTrain trains the /v1/predict serving model at startup
+// from the journal-replayed cache (falls back to simulation-only
+// serving when the journal is too thin to train).
+func ServerSurrogateTrain() ServerOption { return server.WithSurrogateTrain() }
+
+// ServerSurrogateThreshold sets the confidence gate: /v1/predict
+// answers from the model only when the prediction's relative AIPC
+// uncertainty is at most rel (default 0.1).
+func ServerSurrogateThreshold(rel float64) ServerOption { return server.WithSurrogateThreshold(rel) }
+
+// ClusterShipper tails a worker's journal and ships each new delta to
+// the coordinator's /v1/cluster/journal, so cells a worker simulated
+// outside a sweep survive that worker's cold restarts in the shared
+// result space. Run it in a goroutine next to the ClusterAgent.
+type ClusterShipper = cluster.Shipper
+
+// Surrogate (internal/surrogate): a stdlib-only learned performance
+// predictor trained on journaled sweep cells. It predicts AIPC, cycles
+// and NoC traffic with per-prediction uncertainty, drives the guided
+// (expected-improvement) sweep in the explorer, prunes wstune's k
+// sweep, and backs the daemon's /v1/predict serving path.
+
+type (
+	// Surrogate is a trained predictor ensemble; build one with
+	// TrainSurrogate or LoadSurrogate.
+	Surrogate = surrogate.Predictor
+	// SurrogateOptions configure training (model kind, seed, folds,
+	// regularization, boosting schedule); the zero value is the default
+	// GBM configuration.
+	SurrogateOptions = surrogate.Options
+	// SurrogateSample is one training row; ExploreCellSamples derives
+	// them from journaled cells.
+	SurrogateSample = surrogate.Sample
+	// SurrogatePrediction is one prediction with uncertainty.
+	SurrogatePrediction = surrogate.Prediction
+	// GuidedSpec configures a surrogate-guided sweep; Guided is its
+	// outcome (frontier-capable results plus budget accounting).
+	GuidedSpec = explore.GuidedSpec
+	// Guided is the outcome of Explorer.SweepGuided.
+	Guided = explore.Guided
+)
+
+// TrainSurrogate fits a predictor on the samples (deterministically:
+// the same samples and seed always serialize byte-identically).
+func TrainSurrogate(samples []SurrogateSample, opt SurrogateOptions) (*Surrogate, error) {
+	return surrogate.Train(samples, opt)
+}
+
+// LoadSurrogate reads a model file written by Surrogate.Save (or
+// `wssurrogate train`).
+func LoadSurrogate(path string) (*Surrogate, error) { return surrogate.Load(path) }
+
+// SurrogateFeatures maps one cell identity onto the model's feature
+// vector.
+func SurrogateFeatures(cfg Config, app string, sc Scale, threads int) []float64 {
+	return surrogate.Features(cfg, app, sc, threads)
+}
+
+// ExploreCellSamples converts journaled cells into surrogate training
+// rows, dropping cells that carry no training signal (failures,
+// fault-injected runs, records predating provenance fields).
+func ExploreCellSamples(cells []ExploreCell) []SurrogateSample { return explore.CellSamples(cells) }
 
 // Energy model (an extension beyond the paper, which defers power to
 // future work).
