@@ -51,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -144,6 +145,7 @@ func main() {
 	if *surrogateThreshold > 0 {
 		opts = append(opts, wavescalar.ServerSurrogateThreshold(*surrogateThreshold))
 	}
+	var shipper *wavescalar.ClusterShipper
 	if *shipInterval > 0 {
 		if role != wavescalar.RoleWorker {
 			fail(fmt.Errorf("-ship-interval requires -role worker"))
@@ -151,7 +153,34 @@ func main() {
 		if *journalPath == "" {
 			fail(fmt.Errorf("-ship-interval requires -journal (it ships that file's deltas)"))
 		}
+		shipper = &wavescalar.ClusterShipper{
+			Coordinator: *coordinator, JournalPath: *journalPath,
+			Interval: *shipInterval,
+		}
+		opts = append(opts, wavescalar.ServerExternalCounter(
+			"wsd_shipper_retries_total",
+			"Journal ship attempts that failed and were rescheduled with backoff.",
+			shipper.Retries))
 	}
+
+	// Bind and serve before the (possibly long) warm-restart replay, so
+	// orchestrators probing /healthz see a crisp 503 "starting" instead
+	// of a connection refusal they cannot tell from a dead process. The
+	// handler swaps to the real server once startup completes; the
+	// parseable "listening" line prints only then.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	var handler atomic.Pointer[http.Handler] // starting stub, then the server
+	starting := startingHandler()
+	handler.Store(&starting)
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	})}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
 	srv, err := wavescalar.NewServer(opts...)
 	if err != nil {
 		fail(err)
@@ -159,13 +188,11 @@ func main() {
 	if *resume {
 		fmt.Fprintf(os.Stderr, "wsd: resumed %d journaled cells from %s\n", srv.Resumed(), *journalPath)
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fail(err)
-	}
-	// Printed on stdout so scripts (and the smoke test) can parse the
-	// actual port when -addr ends in :0.
+	ready := http.Handler(srv)
+	handler.Store(&ready)
+	// Printed on stdout — after the handler swap, so scripts that parse
+	// the actual port (when -addr ends in :0) can immediately talk to
+	// the real API, not the starting stub.
 	fmt.Printf("wsd: listening on http://%s\n", ln.Addr())
 	if role != wavescalar.RoleSingle {
 		fmt.Fprintf(os.Stderr, "wsd: fabric role %s\n", role)
@@ -211,11 +238,7 @@ func main() {
 	// the fabric. Stopped after the drain completes, so the final ship
 	// sees every journaled cell.
 	stopShipper := func() {}
-	if role == wavescalar.RoleWorker && *shipInterval > 0 {
-		shipper := &wavescalar.ClusterShipper{
-			Coordinator: *coordinator, JournalPath: *journalPath,
-			Interval: *shipInterval,
-		}
+	if shipper != nil {
 		shipCtx, shipCancel := context.WithCancel(context.Background())
 		shipDone := make(chan struct{})
 		go func() {
@@ -230,7 +253,6 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Handler: srv}
 	shutdownDone := make(chan error, 1)
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -253,13 +275,27 @@ func main() {
 		shutdownDone <- err
 	}()
 
-	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
 		fail(err)
 	}
 	if err := <-shutdownDone; err != nil {
 		fail(err)
 	}
 	fmt.Fprintln(os.Stderr, "wsd: drained, exiting")
+}
+
+// startingHandler answers every request with 503 {"status":"starting"}
+// while the warm-restart replay (journal + scenario store) loads: the
+// port is bound, the process is alive, the API is not up yet. Probes
+// that poll /healthz for readiness keep failing until the real handler
+// is swapped in; probes that only check liveness can distinguish this
+// from a dead process.
+func startingHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	})
 }
 
 func fail(err error) {

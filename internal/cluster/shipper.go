@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,14 +37,59 @@ type Shipper struct {
 	Logf func(format string, args ...any)
 	// Client is the HTTP client used (default: 30s timeout).
 	Client *http.Client
+	// RetryBase and RetryMax bound the backoff after a failed ship: the
+	// delay starts at RetryBase (default 1s), doubles per consecutive
+	// failure up to RetryMax (default Interval), and is jittered ±50% so
+	// a fleet of workers that lost the same coordinator does not retry
+	// in lockstep. A successful ship resets the schedule to Interval.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 
-	offset int64 // bytes of JournalPath already acknowledged
+	offset  int64 // bytes of JournalPath already acknowledged
+	retries atomic.Uint64
 }
 
-// Run ships on every tick until ctx is cancelled, then ships one final
-// delta on a short grace context so a graceful drain loses nothing that
-// reached the journal. Ship failures are logged and retried next tick —
-// the delta stays unacknowledged, so nothing is skipped.
+// Retries reports how many ship attempts have failed and been
+// rescheduled — the value behind the wsd_shipper_retries_total metric.
+func (sh *Shipper) Retries() uint64 { return sh.retries.Load() }
+
+// nextDelay computes the post-failure backoff for the given consecutive
+// failure count (1 = first failure), before jitter.
+func (sh *Shipper) nextDelay(consecutive int) time.Duration {
+	base := sh.RetryBase
+	if base <= 0 {
+		base = time.Second
+	}
+	maxDelay := sh.RetryMax
+	if maxDelay <= 0 {
+		maxDelay = sh.Interval
+		if maxDelay <= 0 {
+			maxDelay = 30 * time.Second
+		}
+	}
+	d := base
+	for i := 1; i < consecutive && d < maxDelay; i++ {
+		d *= 2
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return d
+}
+
+// jitter spreads a delay uniformly over [d/2, 3d/2).
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// Run ships on every interval until ctx is cancelled, then ships one
+// final delta on a short grace context so a graceful drain loses nothing
+// that reached the journal. A failed ship is retried on a jittered
+// exponential backoff (see RetryBase/RetryMax) instead of waiting a full
+// interval — the delta stays unacknowledged, so nothing is skipped.
 func (sh *Shipper) Run(ctx context.Context) error {
 	if sh.Coordinator == "" || sh.JournalPath == "" {
 		return fmt.Errorf("cluster: shipper needs Coordinator and JournalPath")
@@ -55,8 +102,9 @@ func (sh *Shipper) Run(ctx context.Context) error {
 	if interval <= 0 {
 		interval = 30 * time.Second
 	}
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	consecutive := 0
 	for {
 		select {
 		case <-ctx.Done():
@@ -68,14 +116,25 @@ func (sh *Shipper) Run(ctx context.Context) error {
 			}
 			cancel()
 			return nil
-		case <-tick.C:
-			if n, err := sh.ShipOnce(ctx); err != nil {
-				if ctx.Err() == nil {
-					logf("cluster: journal ship to %s failed (will retry): %v", sh.Coordinator, err)
+		case <-timer.C:
+			n, err := sh.ShipOnce(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					continue // cancellation races the final ship above
 				}
-			} else if n > 0 {
+				consecutive++
+				sh.retries.Add(1)
+				delay := jitter(sh.nextDelay(consecutive))
+				logf("cluster: journal ship to %s failed (retry %d in %s): %v",
+					sh.Coordinator, consecutive, delay.Round(time.Millisecond), err)
+				timer.Reset(delay)
+				continue
+			}
+			if n > 0 {
 				logf("cluster: shipped %d journal records to %s", n, sh.Coordinator)
 			}
+			consecutive = 0
+			timer.Reset(interval)
 		}
 	}
 }

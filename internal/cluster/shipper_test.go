@@ -8,7 +8,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // fakeCoordinator records every /v1/cluster/journal payload and acks the
@@ -145,5 +147,114 @@ func TestShipperFailureKeepsOffset(t *testing.T) {
 func TestShipperNeedsConfig(t *testing.T) {
 	if err := (&Shipper{}).Run(context.Background()); err == nil {
 		t.Error("Run without Coordinator/JournalPath succeeded")
+	}
+}
+
+// TestShipperBackoffSchedule: the unjittered delay doubles per
+// consecutive failure from RetryBase up to RetryMax, and the defaults
+// fall back to 1s and the shipping interval.
+func TestShipperBackoffSchedule(t *testing.T) {
+	sh := &Shipper{RetryBase: time.Second, RetryMax: 8 * time.Second}
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second,
+		8 * time.Second, 8 * time.Second, 8 * time.Second,
+	}
+	for i, w := range want {
+		if got := sh.nextDelay(i + 1); got != w {
+			t.Errorf("failure %d: delay %v, want %v", i+1, got, w)
+		}
+	}
+
+	// Defaults: base 1s, cap at Interval.
+	def := &Shipper{Interval: 10 * time.Second}
+	if got := def.nextDelay(1); got != time.Second {
+		t.Errorf("default base: %v, want 1s", got)
+	}
+	if got := def.nextDelay(20); got != 10*time.Second {
+		t.Errorf("default cap: %v, want Interval (10s)", got)
+	}
+	// No interval either: cap at the default shipping period.
+	bare := &Shipper{}
+	if got := bare.nextDelay(50); got != 30*time.Second {
+		t.Errorf("bare cap: %v, want 30s", got)
+	}
+}
+
+// TestShipperJitterBounds: jitter keeps the delay within [d/2, 3d/2).
+func TestShipperJitterBounds(t *testing.T) {
+	d := 4 * time.Second
+	for i := 0; i < 200; i++ {
+		j := jitter(d)
+		if j < d/2 || j >= d+d/2 {
+			t.Fatalf("jitter(%v) = %v outside [%v, %v)", d, j, d/2, d+d/2)
+		}
+	}
+	if jitter(0) != 0 {
+		t.Errorf("jitter(0) should be 0")
+	}
+}
+
+// TestShipperRetriesCounterAndBackoffLoop runs the real Run loop against
+// a coordinator that fails twice then succeeds: the retry counter must
+// advance once per failure and the delta must eventually land intact.
+func TestShipperRetriesCounterAndBackoffLoop(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "worker.jsonl")
+	if err := os.WriteFile(journal, []byte("{\"cell\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	fails := 2
+	var delivered []string
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		defer mu.Unlock()
+		if fails > 0 {
+			fails--
+			http.Error(w, "merge not ready", http.StatusServiceUnavailable)
+			return
+		}
+		delivered = append(delivered, string(b))
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"received":1,"merged":1}`))
+	}))
+	defer coord.Close()
+
+	sh := &Shipper{
+		Coordinator: coord.URL, JournalPath: journal,
+		Interval:  5 * time.Millisecond,
+		RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+		Logf: func(string, ...any) {},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = sh.Run(ctx) }()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(delivered)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			cancel()
+			t.Fatalf("delta never delivered (retries=%d)", sh.Retries())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+
+	if got := sh.Retries(); got != 2 {
+		t.Errorf("Retries() = %d, want 2", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered[0] != "{\"cell\":1}\n" {
+		t.Errorf("delivered %q, want the full journal line", delivered[0])
 	}
 }

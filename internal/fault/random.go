@@ -1,0 +1,44 @@
+package fault
+
+import "math/rand"
+
+// RandomScript draws a valid degradation scenario for a machine of the
+// given shape: a nested kill set covering up to ~30% of the PEs plus mild
+// seeded transient rates. The draw is a pure function of the rng state,
+// so a seeded fuzzing harness regenerates the same script from the same
+// seed forever.
+//
+// The generator deliberately stays inside the graceful-degradation
+// envelope: it never kills a majority of the machine (a fully partitioned
+// fabric stalls rather than degrades, which is a separate, scripted test
+// concern) and keeps mem_drop_rate low enough that the default retry
+// budget virtually never exhausts. Both extremes are still reachable by
+// hand-written scripts; the fuzzer's job is exploring the space where the
+// machine must keep producing correct answers.
+func RandomScript(shape Shape, rng *rand.Rand) *Script {
+	s := &Script{Seed: rng.Uint64()}
+
+	// Scheduled hard faults: a nested kill fraction at a mid-run cycle.
+	if rng.Intn(3) > 0 { // two draws in three schedule kills
+		fraction := []float64{0.05, 0.1, 0.2, 0.3}[rng.Intn(4)]
+		cycle := uint64(50 + rng.Intn(450))
+		if ks, err := KillFractionScript(shape, fraction, rng.Uint64(), cycle); err == nil {
+			s.Events = ks.Events
+		}
+	}
+
+	// Transients: each knob independently enabled with a mild rate.
+	if rng.Intn(2) == 0 {
+		s.LinkFlipRate = float64(1+rng.Intn(10)) / 1000 // 0.1%..1%
+	}
+	if rng.Intn(2) == 0 {
+		s.MemDelayRate = float64(1+rng.Intn(50)) / 1000 // 0.1%..5%
+	}
+	if rng.Intn(2) == 0 {
+		s.SBDelayRate = float64(1+rng.Intn(50)) / 1000
+	}
+	if rng.Intn(4) == 0 {
+		s.MemDropRate = float64(1+rng.Intn(5)) / 1000 // ≤0.5%, far from retry exhaustion
+	}
+	return s
+}

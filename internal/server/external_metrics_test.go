@@ -1,0 +1,50 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestExternalCounterOnMetrics: a counter registered by the embedding
+// process (the shape cmd/wsd uses for wsd_shipper_retries_total) renders
+// on /metrics and is sampled live at scrape time.
+func TestExternalCounterOnMetrics(t *testing.T) {
+	var retries atomic.Uint64
+	_, ts := newTestServer(t, WithExternalCounter(
+		"wsd_shipper_retries_total",
+		"Journal ship attempts that failed and were rescheduled with backoff.",
+		retries.Load))
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return readAll(t, resp)
+	}
+	if text := scrape(); !strings.Contains(text, "wsd_shipper_retries_total 0") {
+		t.Errorf("metrics missing zero-valued external counter:\n%s", grepMetric(text, "wsd_shipper"))
+	}
+	retries.Add(3)
+	text := scrape()
+	if !strings.Contains(text, "wsd_shipper_retries_total 3") {
+		t.Errorf("external counter not sampled live:\n%s", grepMetric(text, "wsd_shipper"))
+	}
+	if !strings.Contains(text, "# TYPE wsd_shipper_retries_total counter") {
+		t.Errorf("external counter missing TYPE line:\n%s", grepMetric(text, "wsd_shipper"))
+	}
+}
+
+// TestExternalCounterValidation: a nameless or samplerless registration
+// is rejected eagerly.
+func TestExternalCounterValidation(t *testing.T) {
+	if _, err := New(WithExternalCounter("", "help", func() uint64 { return 0 })); err == nil {
+		t.Errorf("nameless external counter accepted")
+	}
+	if _, err := New(WithExternalCounter("x_total", "help", nil)); err == nil {
+		t.Errorf("samplerless external counter accepted")
+	}
+}

@@ -1043,4 +1043,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE wsd_surrogate_confidence_threshold gauge\n")
 		fmt.Fprintf(w, "wsd_surrogate_confidence_threshold %g\n", s.sur.threshold)
 	}
+
+	// Counters owned by the embedding process (WithExternalCounter), e.g.
+	// the journal shipper's retry count, sampled live at scrape time.
+	for _, ec := range s.external {
+		if ec.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", ec.name, ec.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n", ec.name)
+		fmt.Fprintf(w, "%s %d\n", ec.name, ec.value())
+	}
 }

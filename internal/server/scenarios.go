@@ -48,9 +48,14 @@ func WithScenarioStore(path string) Option {
 }
 
 // openScenarioStore reloads and opens the scenario store configured by
-// WithScenarioStore (a no-op without it). Mirroring the journal's crash
-// tolerance, a torn final line is skipped with a warning; corruption
-// anywhere else fails startup.
+// WithScenarioStore (a no-op without it). Reload is salvage, not
+// verification: a line that does not parse — a record torn by a crash
+// mid-append, a truncated tail, stray corruption from a shared file —
+// is skipped with a warning and every intact record is kept. The store
+// is content-addressed, so dropping a broken line can never serve a
+// wrong document (clients re-POST and get the same digest back), while
+// failing startup over one bad byte would take the whole daemon down
+// with it. Duplicate lines collapse onto one digest as always.
 func (s *Server) openScenarioStore() error {
 	if s.scnPath == "" {
 		return nil
@@ -62,17 +67,16 @@ func (s *Server) openScenarioStore() error {
 	if err == nil {
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-		line := 0
-		var pendingErr error
+		line, skipped := 0, 0
 		for sc.Scan() {
 			line++
-			if pendingErr != nil {
-				f.Close()
-				return pendingErr
+			if len(sc.Bytes()) == 0 {
+				continue
 			}
 			doc, perr := scenario.Parse(sc.Bytes())
 			if perr != nil {
-				pendingErr = fmt.Errorf("server: scenario store %s line %d: %w", s.scnPath, line, perr)
+				skipped++
+				log.Printf("server: scenario store %s line %d: skipping unreadable record: %v", s.scnPath, line, perr)
 				continue
 			}
 			s.scenarios[doc.Digest()] = doc
@@ -80,10 +84,12 @@ func (s *Server) openScenarioStore() error {
 		serr := sc.Err()
 		f.Close()
 		if serr != nil {
-			return fmt.Errorf("server: reading scenario store %s: %w", s.scnPath, serr)
+			// An over-long or unreadable tail: keep everything parsed so
+			// far rather than failing startup over it.
+			log.Printf("server: scenario store %s: stopping reload after line %d: %v", s.scnPath, line, serr)
 		}
-		if pendingErr != nil {
-			log.Printf("server: scenario store: skipping torn trailing record: %v", pendingErr)
+		if skipped > 0 {
+			log.Printf("server: scenario store %s: reloaded %d scenarios, skipped %d unreadable lines", s.scnPath, len(s.scenarios), skipped)
 		}
 	}
 	s.scnFile, err = os.OpenFile(s.scnPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

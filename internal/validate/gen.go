@@ -1,0 +1,55 @@
+package validate
+
+import (
+	"math/rand"
+
+	"wavescalar/internal/area"
+	"wavescalar/internal/fault"
+	"wavescalar/internal/sim"
+	"wavescalar/internal/workload"
+)
+
+// CaseSeed derives the per-case seed for index i of a fuzzing run rooted
+// at root — the value a "s:<seed>" repro token carries, so one case
+// replays without regenerating the whole run.
+func CaseSeed(root uint64, i int) uint64 {
+	return fault.Mix(root, 0xCA5E, uint64(i))
+}
+
+// GenerateCase draws one case from a seed: a machine inside (and a
+// little beyond the edges of) the paper's design ranges, any workload
+// the resolver accepts, a small scale, a thread count, and sometimes a
+// fault script. The draw is a pure function of the seed — the contract
+// that makes every failure replayable from one integer.
+//
+// Scales stay at or below workload.Tiny: the harness buys coverage with
+// many small cases, not few large ones, and the shrinker's job is easier
+// when the starting point is already small.
+func GenerateCase(seed uint64) Case {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	pick := func(vals ...int) int { return vals[rng.Intn(len(vals))] }
+	c := Case{
+		Seed: seed,
+		Arch: area.Params{
+			Clusters: pick(1, 1, 1, 2, 4),
+			Domains:  pick(1, 2, 4),
+			PEs:      pick(2, 4, 8),
+			Virt:     pick(16, 32, 64, 128),
+			Match:    pick(16, 32, 64, 128),
+			L1KB:     pick(4, 8, 16),
+			L2MB:     pick(0, 1),
+		},
+		K:         pick(1, 2, 4, 8),
+		Workload:  workload.RandomName(rng),
+		Iters:     pick(4, 8, 16, 24),
+		Footprint: pick(512, 1024, 2048),
+		Threads:   pick(1, 1, 2, 4),
+	}
+	// Two cases in five degrade under a random fault script; the rest
+	// stay clean so the differential signal is not drowned in
+	// fault-tolerance noise.
+	if rng.Intn(5) < 2 {
+		c.Fault = fault.RandomScript(sim.FaultShape(c.Config()), rng)
+	}
+	return c
+}

@@ -1,0 +1,129 @@
+package validate
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func writeTestJSON(path string, v any) error {
+	doc, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, doc, 0o644)
+}
+
+// TestDriftGate covers the comparison logic without any simulation.
+func TestDriftGate(t *testing.T) {
+	trends := []TrendValue{
+		{Name: "a", Figure: "fig6", Value: 1.00},
+		{Name: "b", Figure: "fig6", Value: 2.30},
+		{Name: "new", Figure: "fig7", Value: 9.99},
+	}
+	exp := &Expectations{Schema: ExpectationsSchema, Metrics: []ExpectedMetric{
+		{Name: "a", Value: 1.02, Tolerance: 0.05}, // within
+		{Name: "b", Value: 2.00, Tolerance: 0.05}, // 15% out
+		{Name: "gone", Value: 4, Tolerance: 0.1},  // stale
+	}}
+	rep := Drift(trends, exp)
+	if rep.Pass {
+		t.Fatalf("report passed despite drift and a stale expectation")
+	}
+	byName := map[string]TrendMetric{}
+	for _, m := range rep.Metrics {
+		byName[m.Name] = m
+	}
+	if !byName["a"].Pass {
+		t.Errorf("metric a should pass: %+v", byName["a"])
+	}
+	if byName["b"].Pass {
+		t.Errorf("metric b should fail: %+v", byName["b"])
+	}
+	if !byName["new"].Pass || byName["new"].Tolerance != -1 {
+		t.Errorf("unpinned metric should pass informationally: %+v", byName["new"])
+	}
+	if !reflect.DeepEqual(rep.Unmatched, []string{"gone"}) {
+		t.Errorf("unmatched = %v, want [gone]", rep.Unmatched)
+	}
+
+	// Exact-match tolerance: zero means any change fails.
+	rep = Drift([]TrendValue{{Name: "k", Value: 2}},
+		&Expectations{Metrics: []ExpectedMetric{{Name: "k", Value: 2, Tolerance: 0}}})
+	if !rep.Pass {
+		t.Errorf("exact integer match should pass")
+	}
+	rep = Drift([]TrendValue{{Name: "k", Value: 3}},
+		&Expectations{Metrics: []ExpectedMetric{{Name: "k", Value: 2, Tolerance: 0}}})
+	if rep.Pass {
+		t.Errorf("integer shift should fail a zero-tolerance gate")
+	}
+}
+
+// TestExpectationsRoundTrip: pinning trends and gating against the pin
+// always passes, and the file round-trips through disk.
+func TestExpectationsRoundTrip(t *testing.T) {
+	trends := []TrendValue{
+		{Name: "fig6_x_speedup", Figure: "fig6", Value: 0.92},
+		{Name: "fig7_y_scaling", Figure: "fig7", Value: 3.99},
+		{Name: "table4_z_kopt", Figure: "table4", Value: 2},
+		{Name: "table4_max_ratio", Figure: "table4", Value: 1},
+	}
+	exp := ExpectationsFrom(trends)
+	if !Drift(trends, exp).Pass {
+		t.Fatalf("freshly pinned expectations must pass")
+	}
+	for _, m := range exp.Metrics {
+		switch m.Name {
+		case "table4_z_kopt":
+			if m.Tolerance != 0 {
+				t.Errorf("integer metric tolerance = %v, want 0", m.Tolerance)
+			}
+		case "fig7_y_scaling":
+			if m.Tolerance != 0.10 {
+				t.Errorf("fig7 tolerance = %v, want 0.10", m.Tolerance)
+			}
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "exp.json")
+	if err := writeTestJSON(path, exp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadExpectations(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, exp) {
+		t.Fatalf("round trip:\n%+v\n%+v", got, exp)
+	}
+}
+
+// TestTrendsWithinCheckedInExpectations recomputes every gated trend
+// from live simulations and gates it against the repo's pinned
+// expectations — the same check the nightly CI job runs.
+func TestTrendsWithinCheckedInExpectations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trend recomputation is slow")
+	}
+	exp, err := LoadExpectations(filepath.Join("..", "..", "results", "validate_expectations.json"))
+	if err != nil {
+		t.Fatalf("checked-in expectations: %v", err)
+	}
+	trends, err := ComputeTrends(context.Background())
+	if err != nil {
+		t.Fatalf("compute trends: %v", err)
+	}
+	rep := Drift(trends, exp)
+	for _, m := range rep.Metrics {
+		if !m.Pass {
+			t.Errorf("drift: %s value %.4f expected %.4f (tolerance %.2f)", m.Name, m.Value, m.Expected, m.Tolerance)
+		}
+	}
+	for _, name := range rep.Unmatched {
+		t.Errorf("stale expectation: %s", name)
+	}
+}

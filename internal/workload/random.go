@@ -1,0 +1,34 @@
+package workload
+
+import "math/rand"
+
+// RandomName draws a workload name from the full namespace the resolver
+// accepts: every registered benchmark plus a synthesized tiled kernel
+// (random dataflow order × power-of-two tile shape). The draw is a pure
+// function of the rng state, so a seeded generator enumerates the same
+// workloads forever — the property the differential-validation harness
+// needs to replay any case from its seed.
+func RandomName(rng *rand.Rand) string {
+	// One draw in three synthesizes a tiled kernel; the rest pick from
+	// the fixed registry, so both the hand-written suites and the
+	// parameterized family stay covered at any seed count.
+	if rng.Intn(3) == 0 {
+		return randomTiledName(rng)
+	}
+	all := All()
+	return all[rng.Intn(len(all))].Name
+}
+
+// randomTiledName synthesizes a valid gemm-*/conv-* name. Tiles stay in
+// [2,8]: 1 collapses the loop nests to trivial programs and 16 (maxTile)
+// inflates tiny-scale runtimes beyond what a fuzzing budget wants.
+func randomTiledName(rng *rand.Rand) string {
+	tile := func() int { return 2 << rng.Intn(3) } // 2, 4, 8
+	if rng.Intn(2) == 0 {
+		p := GEMMParams{Order: gemmOrders[rng.Intn(len(gemmOrders))], Tm: tile(), Tn: tile(), Tk: tile()}
+		return p.Name()
+	}
+	// Tc is capped by the kernel's 4 input channels.
+	p := ConvParams{Order: convOrders[rng.Intn(len(convOrders))], Tx: tile(), Ty: tile(), Tc: 2 << rng.Intn(2)}
+	return p.Name()
+}

@@ -592,6 +592,13 @@ func ServerCluster(opt ClusterOptions) ServerOption { return server.WithClusterO
 // Retry-After. 0 (the default) disables quotas.
 func ServerTenantQuota(n int) ServerOption { return server.WithTenantQuota(n) }
 
+// ServerExternalCounter exposes a counter owned by the embedding
+// process (e.g. the ClusterShipper's retry count) on /metrics; fn is
+// sampled at scrape time.
+func ServerExternalCounter(name, help string, fn func() uint64) ServerOption {
+	return server.WithExternalCounter(name, help, fn)
+}
+
 // ServerRetryAfter sets the base Retry-After hint on 429 responses
 // (default 2s); the served value is jittered ±20%.
 func ServerRetryAfter(d time.Duration) ServerOption { return server.WithRetryAfter(d) }
