@@ -75,6 +75,49 @@ func TestSchedulerEquivalenceMultithreaded(t *testing.T) {
 			if !reflect.DeepEqual(active, scan) {
 				t.Errorf("stats diverge between schedulers\nactive-set: %+v\nfull-scan:  %+v", active, scan)
 			}
+			cfg.Sched = wavescalar.SchedClusterPar
+			par, err := runWorkload(cfg, name, wavescalar.ScaleTiny, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(active, par) {
+				t.Errorf("stats diverge between schedulers\nactive-set:  %+v\ncluster-par: %+v", active, par)
+			}
+		})
+	}
+}
+
+// TestClusterParEquivalence runs every kernel on a 4-cluster machine
+// under the deterministic cluster-parallel scheduler and requires Stats
+// byte-identical to the active-set scheduler — the gate that lets
+// SchedClusterPar claim "same results, more cores".
+func TestClusterParEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all kernels twice on a 4-cluster machine")
+	}
+	arch := wavescalar.BaselineArch()
+	arch.Clusters = 4
+	for _, w := range wavescalar.Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := wavescalar.Baseline(arch)
+			cfg.Sched = wavescalar.SchedActiveSet
+			active, err := runWorkload(cfg, w.Name, wavescalar.ScaleTiny, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Sched = wavescalar.SchedClusterPar
+			par, err := runWorkload(cfg, w.Name, wavescalar.ScaleTiny, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(active, par) {
+				t.Errorf("stats diverge between schedulers\nactive-set:  %+v\ncluster-par: %+v", active, par)
+			}
+			if active.Digest() != par.Digest() {
+				t.Errorf("digest diverges: active-set %s != cluster-par %s", active.Digest(), par.Digest())
+			}
 		})
 	}
 }

@@ -43,8 +43,10 @@ type Progress struct {
 	// CacheHits were answered from the cache/journal without simulating;
 	// Simulated ran; Failed of the simulated ended in a deterministic
 	// error (and were cached as such). Remote counts the simulated cells
-	// a CellRunner executed on another node (WithRunner).
-	CacheHits, Simulated, Failed, Remote int
+	// a CellRunner executed on another node (WithRunner). Batched counts
+	// the simulated cells that ran inside a same-workload batch
+	// (WithBatch) rather than as dedicated simulations.
+	CacheHits, Simulated, Failed, Remote, Batched int
 	// SimCycles totals simulated machine cycles this sweep.
 	SimCycles uint64
 	// Elapsed wall time, cells-per-second throughput over it, and the
@@ -140,6 +142,24 @@ func WithRunner(fn CellRunner) Option {
 	}
 }
 
+// WithBatch sets how many same-workload design points a sweep groups
+// into one batched simulation pass (sim.NewBatch): the program is
+// validated once and same-shape fault-free configs share one placement,
+// so K design points cost one graph build instead of K. The default is
+// 8; 0 or 1 disables batching. Results — stats, winners, error text,
+// cache keys, journal records — are byte-identical to unbatched sweeps
+// (cells that a CellRunner would ship to remote workers are never
+// batched locally).
+func WithBatch(k int) Option {
+	return func(e *Explorer) error {
+		if k < 0 {
+			return fmt.Errorf("%w: batch size %d must be non-negative", design.ErrBadOptions, k)
+		}
+		e.batch = k
+		return nil
+	}
+}
+
 // WithCacheLimit caps the result cache at n cells, evicting least
 // recently used entries beyond it (see Cache.SetLimit). The default is
 // unlimited — the right choice for one-shot CLI sweeps; a long-running
@@ -163,6 +183,7 @@ type Explorer struct {
 	scale        workload.Scale
 	threadCounts []int
 	parallelism  int
+	batch        int
 	configure    design.ConfigureFunc
 	cache        *Cache
 	cacheLimit   int
@@ -187,6 +208,7 @@ func New(opts ...Option) (*Explorer, error) {
 		scale:        workload.Tiny,
 		threadCounts: []int{1},
 		parallelism:  runtime.GOMAXPROCS(0),
+		batch:        8,
 		configure:    design.BaselineConfigure,
 		cache:        nil,
 	}
@@ -344,84 +366,187 @@ func (e *Explorer) SweepWith(ctx context.Context, points []design.Point, apps []
 		progMu.Unlock()
 	}
 
-	type cellJob struct{ pi, ai int }
-	jobs := make(chan cellJob)
+	journalCell := func(cell Cell) {
+		e.cache.PutCell(cell)
+		if e.journal != nil {
+			if jerr := e.journal.append(cellRecord(cell)); jerr != nil {
+				progMu.Lock()
+				if firstJErr == nil {
+					firstJErr = jerr
+				}
+				progMu.Unlock()
+			}
+		}
+	}
+
+	// runCell is the unbatched unit of work: cache check, optional remote
+	// execution, local simulation, write-through, accounting.
+	runCell := func(pi, ai int) {
+		key := keys[pi][ai]
+		if cell, ok := e.cache.Cell(key); ok {
+			cells[pi][ai] = cell
+			account(func(p *Progress) { p.Done++; p.CacheHits++ })
+			return
+		}
+		if ctx.Err() != nil {
+			return // drain the queue without simulating
+		}
+		var cell Cell
+		remote := 0
+		if e.runner != nil {
+			// Remote execution first; any failure (no workers,
+			// network, retries exhausted) falls back to simulating
+			// locally, so a degraded fabric never loses cells.
+			rc, rerr := e.runner(ctx, key, configs[pi], apps[ai].Name, scale, threadCounts)
+			if rerr == nil && rc.Key == key {
+				cell, remote = rc, 1
+			} else if ctx.Err() != nil {
+				return
+			}
+		}
+		failed := 0
+		if remote == 0 {
+			br, err := design.BestThreadsContext(ctx, configs[pi], instances[ai], threadCounts)
+			if err != nil && ctx.Err() != nil {
+				// Cancelled mid-cell: do not cache or journal a
+				// non-deterministic partial outcome.
+				return
+			}
+			cell = newCell(key, apps[ai].Name, configs[pi], scale)
+			if err != nil {
+				cell.Err = err.Error()
+			} else {
+				cell.AIPC, cell.Threads = br.AIPC, br.Threads
+				cell.Cycles, cell.SimCycles = br.Cycles, br.SimCycles
+				cell.Traffic = br.Traffic
+			}
+		}
+		if cell.Err != "" {
+			failed = 1
+		}
+		journalCell(cell)
+		cells[pi][ai] = cell
+		account(func(p *Progress) {
+			p.Done++
+			p.Simulated++
+			p.Failed += failed
+			p.Remote += remote
+			p.SimCycles += cell.SimCycles
+		})
+	}
+
+	// runChunk batches a group of same-workload cache misses through one
+	// sim.NewBatch pass. Outcomes — cells, keys, journal records, error
+	// text — are byte-identical to runCell's, so batching is invisible to
+	// the cache and the journal.
+	runChunk := func(ai int, pis []int) {
+		miss := make([]int, 0, len(pis))
+		for _, pi := range pis {
+			if cell, ok := e.cache.Cell(keys[pi][ai]); ok {
+				cells[pi][ai] = cell
+				account(func(p *Progress) { p.Done++; p.CacheHits++ })
+				continue
+			}
+			miss = append(miss, pi)
+		}
+		if len(miss) == 0 || ctx.Err() != nil {
+			return
+		}
+		cfgs := make([]sim.Config, len(miss))
+		for i, pi := range miss {
+			cfgs[i] = configs[pi]
+		}
+		brs, berrs, err := design.BestThreadsBatch(ctx, cfgs, instances[ai], threadCounts)
+		if err != nil {
+			if ctx.Err() != nil {
+				return // cancelled mid-batch: cache nothing partial
+			}
+			// The batch itself could not build; the sequential path is
+			// always equivalent, so fall back cell by cell.
+			for _, pi := range miss {
+				runCell(pi, ai)
+			}
+			return
+		}
+		for i, pi := range miss {
+			cell := newCell(keys[pi][ai], apps[ai].Name, configs[pi], scale)
+			failed := 0
+			if berrs[i] != nil {
+				cell.Err = berrs[i].Error()
+				failed = 1
+			} else {
+				br := brs[i]
+				cell.AIPC, cell.Threads = br.AIPC, br.Threads
+				cell.Cycles, cell.SimCycles = br.Cycles, br.SimCycles
+				cell.Traffic = br.Traffic
+			}
+			journalCell(cell)
+			cells[pi][ai] = cell
+			account(func(p *Progress) {
+				p.Done++
+				p.Simulated++
+				p.Batched++
+				p.Failed += failed
+				p.SimCycles += cell.SimCycles
+			})
+		}
+	}
+
+	// A job is one workload with one or more design points: a single point
+	// outside batching, a same-workload chunk with it. Remote runners keep
+	// per-cell dispatch — the fabric shards and retries at cell granularity.
+	type sweepJob struct {
+		ai  int
+		pis []int
+	}
+	useBatch := e.batch > 1 && e.runner == nil
+	jobs := make(chan sweepJob)
 	var wg sync.WaitGroup
 	for w := 0; w < e.parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for job := range jobs {
-				key := keys[job.pi][job.ai]
-				if cell, ok := e.cache.Cell(key); ok {
-					cells[job.pi][job.ai] = cell
-					account(func(p *Progress) { p.Done++; p.CacheHits++ })
-					continue
+				if useBatch {
+					runChunk(job.ai, job.pis)
+				} else {
+					runCell(job.pis[0], job.ai)
 				}
-				if ctx.Err() != nil {
-					continue // drain the queue without simulating
-				}
-				var cell Cell
-				remote := 0
-				if e.runner != nil {
-					// Remote execution first; any failure (no workers,
-					// network, retries exhausted) falls back to simulating
-					// locally, so a degraded fabric never loses cells.
-					rc, rerr := e.runner(ctx, key, configs[job.pi], apps[job.ai].Name, scale, threadCounts)
-					if rerr == nil && rc.Key == key {
-						cell, remote = rc, 1
-					} else if ctx.Err() != nil {
-						continue
-					}
-				}
-				failed := 0
-				if remote == 0 {
-					br, err := design.BestThreadsContext(ctx, configs[job.pi], instances[job.ai], threadCounts)
-					if err != nil && ctx.Err() != nil {
-						// Cancelled mid-cell: do not cache or journal a
-						// non-deterministic partial outcome.
-						continue
-					}
-					cell = newCell(key, apps[job.ai].Name, configs[job.pi], scale)
-					if err != nil {
-						cell.Err = err.Error()
-					} else {
-						cell.AIPC, cell.Threads = br.AIPC, br.Threads
-						cell.Cycles, cell.SimCycles = br.Cycles, br.SimCycles
-						cell.Traffic = br.Traffic
-					}
-				}
-				if cell.Err != "" {
-					failed = 1
-				}
-				e.cache.PutCell(cell)
-				if e.journal != nil {
-					if jerr := e.journal.append(cellRecord(cell)); jerr != nil {
-						progMu.Lock()
-						if firstJErr == nil {
-							firstJErr = jerr
-						}
-						progMu.Unlock()
-					}
-				}
-				cells[job.pi][job.ai] = cell
-				account(func(p *Progress) {
-					p.Done++
-					p.Simulated++
-					p.Failed += failed
-					p.Remote += remote
-					p.SimCycles += cell.SimCycles
-				})
 			}
 		}()
 	}
-dispatch:
-	for pi := range points {
+	send := func(j sweepJob) bool {
+		select {
+		case <-ctx.Done():
+			return false
+		case jobs <- j:
+			return true
+		}
+	}
+	if useBatch {
+	batched:
 		for ai := range apps {
-			select {
-			case <-ctx.Done():
-				break dispatch
-			case jobs <- cellJob{pi, ai}:
+			for lo := 0; lo < len(points); lo += e.batch {
+				hi := lo + e.batch
+				if hi > len(points) {
+					hi = len(points)
+				}
+				pis := make([]int, hi-lo)
+				for i := range pis {
+					pis[i] = lo + i
+				}
+				if !send(sweepJob{ai: ai, pis: pis}) {
+					break batched
+				}
+			}
+		}
+	} else {
+	dispatch:
+		for pi := range points {
+			for ai := range apps {
+				if !send(sweepJob{ai: ai, pis: []int{pi}}) {
+					break dispatch
+				}
 			}
 		}
 	}

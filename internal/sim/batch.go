@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"wavescalar/internal/isa"
+	"wavescalar/internal/place"
+)
+
+// The batch runner: K design points of the same workload in one pass.
+//
+// Design-space sweeps evaluate hundreds of machine configs against the
+// same program; building the dataflow graph, validating it, computing
+// operand masks and (for same-shape configs) placing instructions are
+// per-workload costs that a per-run simulator pays K times. NewBatch
+// pays them once and feeds all K lanes. Execution then either
+// interleaves the lanes on one goroutine (each lane advancing
+// laneQuantum cycles per turn, retiring independently as it halts or
+// errors) or fans them out across a worker pool — both built on the
+// same resumable step machine RunContext uses, so a batch lane is
+// byte-identical to a dedicated run.
+
+// laneQuantum is how many cycles an interleaved lane advances per turn.
+// Small enough that a short lane retires promptly instead of riding
+// along with long ones, large enough that the rotation cost vanishes.
+const laneQuantum = 1 << 12
+
+// Lane is one design point in a batch: a machine config plus the
+// parameter maps of the threads to run (lanes may differ in thread
+// count).
+type Lane struct {
+	Config Config
+	Params []map[string]uint64
+}
+
+// LaneResult is one lane's outcome. Exactly one of Stats/Err is set.
+// Errors are byte-identical to what New/RunContext would have produced
+// for the same config, so callers that cache or journal error strings
+// see no difference between batched and sequential execution.
+type LaneResult struct {
+	Stats      *Stats
+	HaltValues []uint64 // indexed by thread, valid on success
+	Mem        Memory   // functional memory after the run, valid on success
+	Err        error
+}
+
+// Batch simulates K lanes of one program. Create with NewBatch, run once
+// with Run or RunContext.
+type Batch struct {
+	prog    *isa.Program
+	lanes   []Lane
+	procs   []*Processor // nil where the lane failed to build
+	errs    []error      // per-lane build errors (nil where procs is set)
+	workers int
+}
+
+// placeKey identifies configs that can share one placement: same thread
+// count, same machine shape, same policy. Only fault-free lanes share —
+// fault scripts remap placements in place.
+type placeKey struct {
+	threads                      int
+	clusters, domains, pes, virt int
+	policy                       place.Policy
+}
+
+// NewBatch builds K processors for prog, sharing the per-workload build
+// work: the program is validated once, operand-requirement masks are
+// computed once, and fault-free lanes with the same shape share one
+// placement. A lane whose config fails to build does not fail the batch;
+// its error (identical to what New would return) is latched and comes
+// back in its LaneResult. NewBatch itself errors only on an empty lane
+// list or an invalid program.
+func NewBatch(prog *isa.Program, mem Memory, lanes []Lane) (*Batch, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("sim: batch needs at least one lane")
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	required := make([]uint8, len(prog.Insts))
+	for i := range prog.Insts {
+		required[i] = requiredMask(&prog.Insts[i])
+	}
+	b := &Batch{
+		prog:    prog,
+		lanes:   lanes,
+		procs:   make([]*Processor, len(lanes)),
+		errs:    make([]error, len(lanes)),
+		workers: 1,
+	}
+	placements := make(map[placeKey]*place.Placement)
+	for i, ln := range lanes {
+		cfg := ln.Config.withDefaults()
+		// Mirror New's error order exactly so latched build errors match
+		// the sequential path byte for byte.
+		if err := cfg.Validate(); err != nil {
+			b.errs[i] = err
+			continue
+		}
+		if len(ln.Params) == 0 {
+			b.errs[i] = fmt.Errorf("sim: need at least one thread")
+			continue
+		}
+		sh := &sharedBuild{required: required}
+		if cfg.Fault.Empty() {
+			key := placeKey{
+				threads:  len(ln.Params),
+				clusters: cfg.Arch.Clusters, domains: cfg.Arch.Domains,
+				pes: cfg.Arch.PEs, virt: cfg.Arch.Virt,
+				policy: cfg.Placement,
+			}
+			pl, ok := placements[key]
+			if !ok {
+				var err error
+				pl, err = place.Place(prog, key.threads, place.Config{
+					Clusters: key.clusters, Domains: key.domains,
+					PEs: key.pes, Virt: key.virt, Policy: key.policy,
+				})
+				if err != nil {
+					b.errs[i] = err
+					continue
+				}
+				placements[key] = pl
+			}
+			sh.placement = pl
+		}
+		p, err := newProc(ln.Config, prog, ln.Params, mem, sh)
+		if err != nil {
+			b.errs[i] = err
+			continue
+		}
+		b.procs[i] = p
+	}
+	return b, nil
+}
+
+// Lanes returns the number of lanes in the batch.
+func (b *Batch) Lanes() int { return len(b.lanes) }
+
+// BuildErr returns lane i's latched construction error, or nil if the
+// lane built and will run. It lets callers distinguish a lane that could
+// not be built (an infrastructure problem) from one that ran and failed
+// deterministically (a run outcome) — the same split New vs RunContext
+// gives the sequential path.
+func (b *Batch) BuildErr(i int) error { return b.errs[i] }
+
+// SetWorkers sets how many goroutines RunContext uses. With one worker
+// (the default) the lanes are interleaved on the calling goroutine; with
+// more, whole lanes are distributed across the pool. Either way each
+// lane's results are byte-identical to a dedicated run.
+func (b *Batch) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	b.workers = n
+}
+
+// Run executes every lane to completion.
+func (b *Batch) Run() []LaneResult {
+	return b.RunContext(context.Background())
+}
+
+// RunContext executes every lane to completion, honoring ctx exactly as
+// the per-run RunContext does (a cancelled lane reports the same
+// cancellation error a dedicated run would). The slice is indexed like
+// the lane list. A Batch must not be run twice.
+func (b *Batch) RunContext(ctx context.Context) []LaneResult {
+	res := make([]LaneResult, len(b.lanes))
+	var live []int
+	for i := range b.lanes {
+		if b.procs[i] == nil {
+			res[i] = LaneResult{Err: b.errs[i]}
+			continue
+		}
+		live = append(live, i)
+	}
+	if b.workers > 1 && len(live) > 1 {
+		n := b.workers
+		if n > len(live) {
+			n = len(live)
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					st, err := b.procs[i].RunContext(ctx)
+					res[i] = b.laneResult(i, st, err)
+				}
+			}()
+		}
+		for _, i := range live {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		return res
+	}
+	// Single-goroutine pass: rotate through the live lanes, stepping each
+	// by laneQuantum cycles; lanes retire independently the moment they
+	// reach a terminal state.
+	for len(live) > 0 {
+		next := live[:0]
+		for _, i := range live {
+			st, done, err := b.procs[i].step(ctx, laneQuantum)
+			if !done {
+				next = append(next, i)
+				continue
+			}
+			res[i] = b.laneResult(i, st, err)
+		}
+		live = next
+	}
+	return res
+}
+
+func (b *Batch) laneResult(i int, st *Stats, err error) LaneResult {
+	if err != nil {
+		return LaneResult{Err: err}
+	}
+	p := b.procs[i]
+	return LaneResult{
+		Stats:      st,
+		HaltValues: append([]uint64(nil), p.haltValues...),
+		Mem:        p.mem,
+	}
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wavescalar/internal/fault"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/workload"
+)
+
+// seqLane runs one lane the way a caller doing one config at a time
+// would: New + RunContext. The batch runner's contract is byte-identical
+// results to this path, errors included.
+func seqLane(prog *isa.Program, mem Memory, ln Lane) LaneResult {
+	p, err := New(ln.Config, prog, ln.Params, mem)
+	if err != nil {
+		return LaneResult{Err: err}
+	}
+	st, err := p.RunContext(context.Background())
+	if err != nil {
+		return LaneResult{Err: err}
+	}
+	return LaneResult{Stats: st, HaltValues: append([]uint64(nil), p.haltValues...), Mem: p.mem}
+}
+
+// checkLane requires a batched lane result to match the sequential one
+// byte for byte: same error string, same stats digest, same halt values,
+// same functional memory.
+func checkLane(t *testing.T, label string, want, got LaneResult) {
+	t.Helper()
+	if (want.Err == nil) != (got.Err == nil) {
+		t.Fatalf("%s: error mismatch: sequential=%v batched=%v", label, want.Err, got.Err)
+	}
+	if want.Err != nil {
+		if want.Err.Error() != got.Err.Error() {
+			t.Fatalf("%s: error text diverges:\nsequential: %v\nbatched:    %v", label, want.Err, got.Err)
+		}
+		return
+	}
+	if w, g := want.Stats.Digest(), got.Stats.Digest(); w != g {
+		t.Errorf("%s: stats digest diverges: sequential=%s batched=%s\nsequential: %+v\nbatched:    %+v",
+			label, w, g, want.Stats, got.Stats)
+	}
+	if !reflect.DeepEqual(want.HaltValues, got.HaltValues) {
+		t.Errorf("%s: halt values diverge: sequential=%v batched=%v", label, want.HaltValues, got.HaltValues)
+	}
+	if !reflect.DeepEqual(want.Mem, got.Mem) {
+		t.Errorf("%s: functional memory diverges (%d vs %d entries)", label, len(want.Mem), len(got.Mem))
+	}
+}
+
+// randomLane derives one design point: a baseline perturbed along the
+// knobs a sweep actually varies, sometimes multi-cluster, sometimes with
+// a fault script, sometimes doomed to halt early on MaxCycles, under a
+// randomly chosen scheduler.
+func randomLane(rng *rand.Rand, cfg Config, shapeCfg Config, threads int) Lane {
+	cfg.K = 2 + rng.Intn(3)
+	cfg.OutQCap = 2 + rng.Intn(6)
+	cfg.L1Lat = 2 + rng.Intn(3)
+	cfg.NocBW = 1 + rng.Intn(2)
+	cfg.SpecFire = rng.Intn(2) == 0
+	cfg.Sched = []SchedMode{SchedActiveSet, SchedFullScan, SchedClusterPar}[rng.Intn(3)]
+	if rng.Intn(4) == 0 {
+		// An early retiree: this lane aborts on MaxCycles long before its
+		// groupmates finish, exercising independent lane retirement.
+		cfg.MaxCycles = 200 + uint64(rng.Intn(400))
+	}
+	if rng.Intn(4) == 0 {
+		sc, err := fault.KillFractionScript(FaultShape(shapeCfg), 0.05, rng.Uint64(), 50)
+		if err == nil {
+			cfg.Fault = sc
+		}
+	}
+	params := make([]map[string]uint64, threads)
+	return Lane{Config: cfg, Params: params}
+}
+
+// TestBatchMatchesSequentialProperty is the batch/single equivalence
+// property: for random same-workload lane groups — mixed schedulers,
+// mixed machine shapes, fault scripts, early per-lane halts — every
+// batched lane must be byte-identical to its sequential run, in both the
+// interleaved single-goroutine mode and the worker-pool mode.
+func TestBatchMatchesSequentialProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep over random lane groups")
+	}
+	w, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(workload.Tiny)
+	kernels := []struct {
+		name string
+		prog *isa.Program
+		mem  Memory
+		par  func(threads int) []map[string]uint64
+	}{
+		{"sumloop", sumLoopProg(), nil, func(n int) []map[string]uint64 {
+			ps := make([]map[string]uint64, n)
+			for i := range ps {
+				ps[i] = map[string]uint64{"n": 40}
+			}
+			return ps
+		}},
+		{"fft", inst.Prog, Memory(inst.Mem), inst.Params},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 4; round++ {
+		k := kernels[round%len(kernels)]
+		nLanes := 3 + rng.Intn(4)
+		lanes := make([]Lane, nLanes)
+		for i := range lanes {
+			base := smallCfg()
+			if rng.Intn(3) == 0 {
+				base.Arch.Clusters = 4
+			}
+			threads := 1
+			if k.name == "fft" && rng.Intn(2) == 0 {
+				threads = 2
+			}
+			ln := randomLane(rng, base, base, threads)
+			ln.Params = k.par(threads)
+			lanes[i] = ln
+		}
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("round%d-%s-w%d", round, k.name, workers), func(t *testing.T) {
+				b, err := NewBatch(k.prog, k.mem, lanes)
+				if err != nil {
+					t.Fatalf("NewBatch: %v", err)
+				}
+				b.SetWorkers(workers)
+				got := b.Run()
+				for i, ln := range lanes {
+					checkLane(t, fmt.Sprintf("lane %d (sched=%d clusters=%d fault=%v)",
+						i, ln.Config.Sched, ln.Config.Arch.Clusters, !ln.Config.Fault.Empty()),
+						seqLane(k.prog, k.mem, ln), got[i])
+				}
+			})
+		}
+	}
+}
+
+// TestBatchBuildErrorParity: a lane whose config cannot build does not
+// poison the batch, and its latched error is exactly what New returns.
+func TestBatchBuildErrorParity(t *testing.T) {
+	prog := sumLoopProg()
+	bad := smallCfg()
+	bad.K = -1
+	good := smallCfg()
+	lanes := []Lane{
+		{Config: bad, Params: []map[string]uint64{{"n": 10}}},
+		{Config: good, Params: nil}, // no threads
+		{Config: good, Params: []map[string]uint64{{"n": 10}}},
+	}
+	b, err := NewBatch(prog, nil, lanes)
+	if err != nil {
+		t.Fatalf("NewBatch: %v", err)
+	}
+	res := b.Run()
+	for i, ln := range lanes {
+		checkLane(t, fmt.Sprintf("lane %d", i), seqLane(prog, nil, ln), res[i])
+	}
+	if res[2].Err != nil {
+		t.Fatalf("healthy lane failed: %v", res[2].Err)
+	}
+}
+
+// TestBatchCancellation: a cancelled context surfaces per lane with the
+// same error RunContext reports.
+func TestBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := smallCfg()
+	b, err := NewBatch(sumLoopProg(), nil, []Lane{{Config: cfg, Params: []map[string]uint64{{"n": 1000}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := b.RunContext(ctx)
+	if res[0].Err == nil || !errors.Is(res[0].Err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", res[0].Err)
+	}
+}
+
+// TestBatchEmpty: a batch needs lanes.
+func TestBatchEmpty(t *testing.T) {
+	if _, err := NewBatch(sumLoopProg(), nil, nil); err == nil {
+		t.Fatal("NewBatch with no lanes should fail")
+	}
+}
+
+// TestBatchSharedPlacement: fault-free lanes of the same shape share one
+// placement object (the amortization the batch exists for); fault lanes
+// never share (scripts remap placements in place).
+func TestBatchSharedPlacement(t *testing.T) {
+	cfg := smallCfg()
+	faultCfg := cfg
+	sc, err := fault.KillFractionScript(FaultShape(cfg), 0.05, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultCfg.Fault = sc
+	params := []map[string]uint64{{"n": 10}}
+	a, b2 := cfg, cfg
+	a.OutQCap, b2.OutQCap = 2, 8 // same shape, different microarch
+	b, err := NewBatch(sumLoopProg(), nil, []Lane{
+		{Config: a, Params: params},
+		{Config: b2, Params: params},
+		{Config: faultCfg, Params: params},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.procs[0].placement != b.procs[1].placement {
+		t.Error("same-shape fault-free lanes should share one placement")
+	}
+	if b.procs[2].placement == b.procs[0].placement {
+		t.Error("fault lane must not share a placement")
+	}
+}
+
+// TestClusterParFallsBack: SchedClusterPar on a single-cluster machine or
+// under a fault script silently degrades to the active-set scheduler and
+// still produces the exact active-set results.
+func TestClusterParFallsBack(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Sched = SchedClusterPar
+	p, err := New(cfg, sumLoopProg(), []map[string]uint64{{"n": 30}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.parMode {
+		t.Fatal("single-cluster machine must not enter parallel mode")
+	}
+	st, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := smallCfg()
+	ref.Sched = SchedActiveSet
+	rp, err := New(ref, sumLoopProg(), []map[string]uint64{{"n": 30}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst, err := rp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Digest() != rst.Digest() {
+		t.Errorf("fallback digest %s != active-set %s", st.Digest(), rst.Digest())
+	}
+}

@@ -64,7 +64,8 @@ type outEntry struct {
 type peUnit struct {
 	p    *Processor
 	addr place.PEAddr
-	gidx int32 // index into Processor.pes, for the active-set work lists
+	gidx int32       // index into Processor.pes, for the active-set work lists
+	st   *phaseStats // counter shard: per-cluster under SchedClusterPar, shared otherwise
 	mt   *match.Table
 	ist  *istore.Store
 
@@ -210,7 +211,7 @@ func (pe *peUnit) phaseComplete(c uint64) {
 		}
 		if pe.outQ.len() >= pe.p.cfg.OutQCap {
 			// Output queue full: execution backs up.
-			pe.p.stats.OutQStalls++
+			pe.st.OutQStalls++
 			if pe.p.rec != nil {
 				pe.p.rec.PEStall(c, pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, trace.StallOutQ, 1)
 			}
@@ -230,7 +231,7 @@ func (pe *peUnit) deliver(c uint64, r execResult) {
 		pe.wakeOutput()
 		return
 	}
-	remote := pe.p.getTargets()
+	remote := pe.p.getTargets(pe.addr.Cluster)
 	for _, d := range r.dests {
 		dst := pe.p.loc(r.tag.Thread, d.Inst)
 		if dst == pe.addr || (pe.p.cfg.PodSize == 2 && dst.SamePod(pe.addr)) {
@@ -238,13 +239,13 @@ func (pe *peUnit) deliver(c uint64, r execResult) {
 			if dst == pe.addr {
 				lvl = LevelSelf
 			}
-			pe.p.stats.Traffic[lvl][ClassOperand]++
+			pe.st.Traffic[lvl][ClassOperand]++
 			if pe.p.rec != nil {
 				pe.p.rec.Message(c, int(lvl), trace.ClassOperand,
 					pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, dst.Cluster)
 			}
-			pe.p.stats.OperandLatTotal++ // bypass delivers in one cycle
-			pe.p.stats.OperandCount++
+			pe.st.OperandLatTotal++ // bypass delivers in one cycle
+			pe.st.OperandCount++
 			// Bypass: available for dispatch this very cycle at the
 			// destination (the speculative-fire path).
 			tok := isa.Token{Tag: r.tag, Value: r.value, Dest: d}
@@ -259,7 +260,7 @@ func (pe *peUnit) deliver(c uint64, r execResult) {
 		})
 		pe.wakeOutput()
 	} else {
-		pe.p.putTargets(remote)
+		pe.p.putTargets(pe.addr.Cluster, remote)
 	}
 }
 
@@ -355,7 +356,7 @@ func (pe *peUnit) dispatch(c uint64, se schedEntry) {
 	}
 	pe.execute(c, se.inst, se.tag, se.vals, schedFire, se.addrSent)
 	if se.fast && se.readyAt == c {
-		pe.p.stats.SpecFires++
+		pe.st.SpecFires++
 	}
 }
 
@@ -364,12 +365,12 @@ func (pe *peUnit) dispatch(c uint64, se schedEntry) {
 func (pe *peUnit) execute(c uint64, id isa.InstID, tag isa.Tag, vals [3]uint64, kind schedKind, addrSent bool) {
 	p := pe.p
 	in := p.prog.Inst(id)
-	p.stats.Dispatches++
-	p.stats.Dynamic++
+	pe.st.Dispatches++
+	pe.st.Dynamic++
 	if in.Op.Countable() && kind == schedFire {
-		p.stats.Countable++
+		pe.st.Countable++
 	}
-	p.progress = c
+	pe.noteProgress(c)
 	if p.rec != nil {
 		p.rec.PEFire(c, pe.addr.Cluster, pe.addr.Domain, pe.addr.PE,
 			int32(id), isa.ExecLatency(in.Op))
@@ -379,7 +380,7 @@ func (pe *peUnit) execute(c uint64, id isa.InstID, tag isa.Tag, vals [3]uint64, 
 
 	switch in.Op {
 	case isa.OpHalt:
-		p.threadHalted(c, tag.Thread, vals[0])
+		pe.noteHalt(c, tag.Thread, vals[0])
 		return
 	case isa.OpSteer:
 		dests := in.Dests
@@ -395,17 +396,17 @@ func (pe *peUnit) execute(c uint64, id isa.InstID, tag isa.Tag, vals [3]uint64, 
 		pe.deliverAt(done, execResult{inst: id, tag: out, value: vals[0]}, in.Dests)
 		return
 	case isa.OpLoad:
-		req := p.newReq()
+		req := p.newReq(pe.addr.Cluster)
 		*req = storebuf.Request{Kind: storebuf.ReqLoad, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0]}
 		pe.queueMem(done, id, tag, req)
 		return
 	case isa.OpMemNop:
-		req := p.newReq()
+		req := p.newReq(pe.addr.Cluster)
 		*req = storebuf.Request{Kind: storebuf.ReqNop, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0]}
 		pe.queueMem(done, id, tag, req)
 		return
 	case isa.OpStore:
-		req := p.newReq()
+		req := p.newReq(pe.addr.Cluster)
 		switch {
 		case kind == schedStoreAddr:
 			*req = storebuf.Request{Kind: storebuf.ReqStoreAddr, Inst: id, Tag: tag, Mem: *in.Mem, Addr: vals[0]}
@@ -455,7 +456,7 @@ func (pe *peUnit) phaseOutput(c uint64) {
 		if home != pe.addr.Cluster {
 			lvl = LevelGrid
 		}
-		pe.p.stats.Traffic[lvl][ClassMemory]++
+		pe.st.Traffic[lvl][ClassMemory]++
 		if pe.p.rec != nil {
 			pe.p.rec.Message(c, int(lvl), trace.ClassMemory,
 				pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, home)
@@ -468,7 +469,7 @@ func (pe *peUnit) phaseOutput(c uint64) {
 		dst := pe.p.loc(e.tag.Thread, t.Inst)
 		tok := isa.Token{Tag: e.tag, Value: e.value, Dest: t}
 		if dst.Cluster == pe.addr.Cluster && dst.Domain == pe.addr.Domain {
-			pe.p.stats.Traffic[LevelDomain][ClassOperand]++
+			pe.st.Traffic[LevelDomain][ClassOperand]++
 			if pe.p.rec != nil {
 				pe.p.rec.Message(c, trace.LevelDomain, trace.ClassOperand,
 					pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, dst.Cluster)
@@ -480,7 +481,7 @@ func (pe *peUnit) phaseOutput(c uint64) {
 		if dst.Cluster != pe.addr.Cluster {
 			lvl = LevelGrid
 		}
-		pe.p.stats.Traffic[lvl][ClassOperand]++
+		pe.st.Traffic[lvl][ClassOperand]++
 		if pe.p.rec != nil {
 			pe.p.rec.Message(c, int(lvl), trace.ClassOperand,
 				pe.addr.Cluster, pe.addr.Domain, pe.addr.PE, dst.Cluster)
@@ -488,7 +489,7 @@ func (pe *peUnit) phaseOutput(c uint64) {
 		d.netOutQ.push(netMsg{readyAt: c + 1, sentAt: e.sentAt, tok: tok, dst: dst})
 		pe.p.actDomain.arm(d.gidx)
 	}
-	pe.p.putTargets(e.dests)
+	pe.p.putTargets(pe.addr.Cluster, e.dests)
 }
 
 // phaseInput accepts up to MatchBanks tokens per cycle from the input
@@ -527,7 +528,7 @@ func (pe *peUnit) phaseInput(c uint64) {
 		if out == match.Rejected {
 			// k-bound: park until the table frees an entry of this
 			// instruction.
-			pe.p.stats.InputRejects++
+			pe.st.InputRejects++
 			if pe.p.rec != nil {
 				pe.p.rec.PEStall(c, pe.addr.Cluster, pe.addr.Domain, pe.addr.PE,
 					trace.StallReject, 1)
@@ -537,15 +538,15 @@ func (pe *peUnit) phaseInput(c uint64) {
 			continue
 		}
 		if out == match.RejectedBank {
-			pe.p.stats.InputRejects++
+			pe.st.InputRejects++
 			i++
 			continue
 		}
 		pe.inQ.remove(i)
 		accepted++
 		if sentAt > 0 {
-			pe.p.stats.OperandLatTotal += c - sentAt
-			pe.p.stats.OperandCount++
+			pe.st.OperandLatTotal += c - sentAt
+			pe.st.OperandCount++
 		}
 		switch out {
 		case match.Completed:

@@ -81,15 +81,18 @@ type Processor struct {
 	actDomain   *activeSet
 	actSB       *activeSet
 
-	// Free lists for the token path's transient objects (single-threaded;
-	// a Processor ticks on one goroutine). They hold steady-state
-	// allocations at ~zero: messages and payloads recycle at the NoC sink,
-	// store-buffer requests after the buffer copies them in, destination
-	// slices when the output queue drains.
+	// Free lists for the token path's transient objects. They hold
+	// steady-state allocations at ~zero: messages and payloads recycle at
+	// the NoC sink, store-buffer requests after the buffer copies them in,
+	// destination slices when the output queue drains. Messages and
+	// payloads are only touched from the serial sections of a tick; the
+	// request and target lists are also used inside PE pipeline phases, so
+	// they are sharded by cluster — disjoint per goroutine under the
+	// cluster-parallel scheduler, and behaviorally identical otherwise.
 	msgFree []*noc.Message
 	payFree []*operandPayload
-	reqFree []*storebuf.Request
-	tgtFree [][]isa.Target
+	reqFree [][]*storebuf.Request
+	tgtFree [][][]isa.Target
 
 	// Fault machinery (all nil/empty on the faultless fast path).
 	inj       *fault.Injector
@@ -109,28 +112,79 @@ type Processor struct {
 	progress   uint64
 	cycle      uint64
 	stats      Stats
+
+	// phStats are the counters the PE pipeline phases increment, kept out
+	// of stats so the cluster-parallel scheduler can shard them: one shard
+	// per cluster in parallel mode (each touched by exactly one goroutine),
+	// a single shared shard otherwise. collect folds them into stats.
+	phStats []phaseStats
+	// parMode enables the per-cluster goroutine tick (SchedClusterPar with
+	// no fault injector, no trace recorder, and more than one cluster).
+	parMode bool
+	par     *parPool // lazily started cluster workers (parMode only)
+
+	// Stepper state: RunContext is a loop over step, and the batch runner
+	// interleaves many lanes through the same state machine so K design
+	// points advance in one pass with per-lane retirement.
+	started  bool
+	runPhase runPhase
+	runC     uint64 // cycle counter shared by the run and drain phases
+	drainC   uint64 // post-halt drain cycles spent
+	finalErr error  // latched terminal error (nil after a clean finish)
+}
+
+// runPhase is the stepper's position in a run's lifecycle.
+type runPhase int
+
+const (
+	phaseRunning runPhase = iota
+	phaseDraining
+	phaseFinished
+)
+
+// sharedBuild carries the machine-independent pieces of a build that
+// NewBatch computes once and shares across lanes of the same workload:
+// the validated program's operand-requirement masks and — for faultless
+// lanes of identical shape and thread count — the placement itself.
+type sharedBuild struct {
+	required  []uint8
+	placement *place.Placement // nil: compute per lane
 }
 
 // New builds a processor for prog with one parameter map per thread.
 // mem seeds the functional memory (it is copied).
 func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) (*Processor, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	if err := prog.Validate(); err != nil {
+	return newProc(cfg, prog, params, mem, nil)
+}
+
+// newProc is the constructor behind New and NewBatch. When sh is non-nil
+// the caller has already validated prog and computed its operand masks
+// (and possibly a shareable placement), so those steps are skipped —
+// the batch runner's "one graph build feeding all K machine configs".
+func newProc(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory, sh *sharedBuild) (*Processor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(params) == 0 {
 		return nil, fmt.Errorf("sim: need at least one thread")
 	}
 	threads := len(params)
-	pl, err := place.Place(prog, threads, place.Config{
-		Clusters: cfg.Arch.Clusters, Domains: cfg.Arch.Domains,
-		PEs: cfg.Arch.PEs, Virt: cfg.Arch.Virt, Policy: cfg.Placement,
-	})
-	if err != nil {
-		return nil, err
+	var pl *place.Placement
+	if sh != nil && sh.placement != nil {
+		pl = sh.placement
+	} else {
+		var err error
+		pl, err = place.Place(prog, threads, place.Config{
+			Clusters: cfg.Arch.Clusters, Domains: cfg.Arch.Domains,
+			PEs: cfg.Arch.PEs, Virt: cfg.Arch.Virt, Policy: cfg.Placement,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	p := &Processor{
 		cfg:        cfg,
@@ -148,9 +202,13 @@ func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) 
 	for a, v := range mem {
 		p.mem[a] = v
 	}
-	p.required = make([]uint8, len(prog.Insts))
-	for i := range prog.Insts {
-		p.required[i] = requiredMask(&prog.Insts[i])
+	if sh != nil {
+		p.required = sh.required
+	} else {
+		p.required = make([]uint8, len(prog.Insts))
+		for i := range prog.Insts {
+			p.required[i] = requiredMask(&prog.Insts[i])
+		}
 	}
 
 	// Build the machine.
@@ -161,6 +219,7 @@ func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) 
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	p.inj = inj
+	p.parMode = cfg.Sched == SchedClusterPar && inj == nil && cfg.Trace == nil && arch.Clusters > 1
 	for ci := 0; ci < arch.Clusters; ci++ {
 		for di := 0; di < arch.Domains; di++ {
 			p.domains = append(p.domains, &domainUnit{p: p, cluster: ci, index: di})
@@ -175,12 +234,34 @@ func New(cfg Config, prog *isa.Program, params []map[string]uint64, mem Memory) 
 	for i, d := range p.domains {
 		d.gidx = int32(i)
 	}
+	if p.parMode {
+		p.phStats = make([]phaseStats, arch.Clusters)
+	} else {
+		p.phStats = make([]phaseStats, 1)
+	}
+	for _, pe := range p.pes {
+		if p.parMode {
+			pe.st = &p.phStats[pe.addr.Cluster]
+		} else {
+			pe.st = &p.phStats[0]
+		}
+	}
+	p.reqFree = make([][]*storebuf.Request, arch.Clusters)
+	p.tgtFree = make([][][]isa.Target, arch.Clusters)
 	p.actComplete = newActiveSet(len(p.pes))
 	p.actDispatch = newActiveSet(len(p.pes))
 	p.actOutput = newActiveSet(len(p.pes))
 	p.actInput = newActiveSet(len(p.pes))
 	p.actDomain = newActiveSet(len(p.domains))
 	p.actSB = newActiveSet(arch.Clusters)
+	if p.parMode {
+		// The parallel tick full-scans each cluster, so the work lists are
+		// unused — freeze them so arm() (called from concurrent PE phases)
+		// becomes a read-only no-op instead of a data race.
+		for _, s := range []*activeSet{p.actComplete, p.actDispatch, p.actOutput, p.actInput, p.actDomain, p.actSB} {
+			s.freeze()
+		}
+	}
 	for ci := 0; ci < arch.Clusters; ci++ {
 		ci := ci
 		var extraDelay func(seq uint64) uint64
@@ -299,36 +380,38 @@ func (p *Processor) newPayload() *operandPayload {
 	return new(operandPayload)
 }
 
-// newReq returns a store-buffer request from the free list.
-func (p *Processor) newReq() *storebuf.Request {
-	if n := len(p.reqFree) - 1; n >= 0 {
-		r := p.reqFree[n]
-		p.reqFree = p.reqFree[:n]
+// newReq returns a store-buffer request from cluster's free list.
+func (p *Processor) newReq(cluster int) *storebuf.Request {
+	fl := p.reqFree[cluster]
+	if n := len(fl) - 1; n >= 0 {
+		r := fl[n]
+		p.reqFree[cluster] = fl[:n]
 		return r
 	}
 	return new(storebuf.Request)
 }
 
 // freeReq recycles a request the store buffer has copied in.
-func (p *Processor) freeReq(r *storebuf.Request) {
-	p.reqFree = append(p.reqFree, r)
+func (p *Processor) freeReq(cluster int, r *storebuf.Request) {
+	p.reqFree[cluster] = append(p.reqFree[cluster], r)
 }
 
 // getTargets returns an empty destination slice with whatever capacity a
-// previous output-queue entry left behind.
-func (p *Processor) getTargets() []isa.Target {
-	if n := len(p.tgtFree) - 1; n >= 0 {
-		s := p.tgtFree[n]
-		p.tgtFree = p.tgtFree[:n]
+// previous output-queue entry in the same cluster left behind.
+func (p *Processor) getTargets(cluster int) []isa.Target {
+	fl := p.tgtFree[cluster]
+	if n := len(fl) - 1; n >= 0 {
+		s := fl[n]
+		p.tgtFree[cluster] = fl[:n]
 		return s
 	}
 	return nil
 }
 
 // putTargets recycles a drained output entry's destination slice.
-func (p *Processor) putTargets(s []isa.Target) {
+func (p *Processor) putTargets(cluster int, s []isa.Target) {
 	if cap(s) > 0 {
-		p.tgtFree = append(p.tgtFree, s[:0])
+		p.tgtFree[cluster] = append(p.tgtFree[cluster], s[:0])
 	}
 }
 
@@ -346,7 +429,7 @@ func (p *Processor) nocSink(cycle uint64, port noc.OutPort, m *noc.Message) {
 	case *storebuf.Request:
 		p.sbs[m.Dst].Enqueue(cycle+1, *pl)
 		p.actSB.arm(int32(m.Dst))
-		p.freeReq(pl)
+		p.freeReq(m.Dst, pl)
 		p.msgFree = append(p.msgFree, m)
 	default:
 		p.cacheSys.Deliver(cycle, m.Dst, m)
@@ -467,6 +550,16 @@ func (p *Processor) respondMem(cycle uint64, cluster int, inst isa.InstID, tag i
 // compare.
 const cancelCheckMask = 1<<12 - 1
 
+// stepQuantum is how many cycles RunContext advances per step call. Large
+// enough that the stepper's phase dispatch is invisible next to the
+// per-cycle machine work, small enough that terminal conditions surface
+// promptly.
+const stepQuantum = 1 << 16
+
+// drainBudget bounds the post-halt drain that flushes in-flight memory
+// so the functional state reflects every store.
+const drainBudget = 2_000_000
+
 // Run executes the program to completion and returns the statistics.
 func (p *Processor) Run() (*Stats, error) {
 	return p.RunContext(context.Background())
@@ -482,64 +575,113 @@ func (p *Processor) Run() (*Stats, error) {
 // error wrapping ErrInternal, with a cycle-stamped machine dump: a bad
 // run never takes down the process (the explorer and the simulation
 // daemon both run many configurations per process).
-func (p *Processor) RunContext(ctx context.Context) (st *Stats, err error) {
+func (p *Processor) RunContext(ctx context.Context) (*Stats, error) {
+	for {
+		st, done, err := p.step(ctx, stepQuantum)
+		if done {
+			return st, err
+		}
+	}
+}
+
+// finish latches a terminal outcome: step returns it on this and every
+// later call, and the cluster-parallel worker pool (if any) shuts down.
+func (p *Processor) finish(err error) {
+	p.finalErr = err
+	p.runPhase = phaseFinished
+	p.stopPar()
+}
+
+// terminal reports the latched outcome in step's return shape.
+func (p *Processor) terminal() (*Stats, bool, error) {
+	if p.finalErr != nil {
+		return nil, true, p.finalErr
+	}
+	return &p.stats, true, nil
+}
+
+// step advances the machine by at most budget cycles, returning done=true
+// once the run reaches a terminal state (success or error). It is the
+// resumable core shared by RunContext and the batch runner: all halt,
+// stall, MaxCycles, drain and cancellation bookkeeping of a full run
+// lives here, so an interleaved batch lane behaves byte-identically to a
+// dedicated run. Terminal outcomes latch; calling step again just
+// returns the same result.
+func (p *Processor) step(ctx context.Context, budget uint64) (st *Stats, done bool, err error) {
+	if p.runPhase == phaseFinished {
+		return p.terminal()
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			st = nil
-			err = fmt.Errorf("sim: %w: panic at cycle %d: %v\n%s\nstack:\n%s",
+			e := fmt.Errorf("sim: %w: panic at cycle %d: %v\n%s\nstack:\n%s",
 				ErrInternal, p.cycle, r, p.dump(), debug.Stack())
+			p.finish(e)
+			st, done, err = nil, true, e
 		}
 	}()
-	p.inject()
-	c := uint64(0)
-	for p.haltCount < p.threads {
-		if c&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sim: run cancelled at cycle %d: %w", c, err)
-			}
+	if !p.started {
+		p.started = true
+		p.inject()
+	}
+	for ; budget > 0; budget-- {
+		if p.runPhase == phaseRunning && p.haltCount >= p.threads {
+			p.stats.Cycles = p.lastHalt + 1
+			p.runPhase = phaseDraining
 		}
-		if c >= p.cfg.MaxCycles {
-			return nil, fmt.Errorf("sim: %w: MaxCycles=%d (%d/%d threads done)",
-				ErrMaxCycles, p.cfg.MaxCycles, p.haltCount, p.threads)
-		}
-		if c > p.progress && c-p.progress > p.cfg.StallLimit {
-			if p.faultsManifested() {
-				return nil, fmt.Errorf("sim: %w for %d cycles at cycle %d (fault report: %s):\n%s",
-					ErrFaultStall, p.cfg.StallLimit, c, p.inj.Report(), p.dump())
+		if p.runPhase == phaseDraining && (p.drainC >= drainBudget || p.quiesced()) {
+			if !p.quiesced() {
+				if p.faultsManifested() {
+					p.finish(fmt.Errorf("sim: %w: post-halt drain stuck (fault report: %s):\n%s",
+						ErrFaultStall, p.inj.Report(), p.dump()))
+				} else {
+					p.finish(fmt.Errorf("sim: %w:\n%s", ErrNotQuiesced, p.dump()))
+				}
+				return p.terminal()
 			}
-			return nil, fmt.Errorf("sim: %w for %d cycles at cycle %d:\n%s",
-				ErrDeadlock, p.cfg.StallLimit, c, p.dump())
+			p.collect()
+			p.finish(nil)
+			return p.terminal()
+		}
+		c := p.runC
+		if p.runPhase == phaseRunning {
+			if c&cancelCheckMask == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					p.finish(fmt.Errorf("sim: run cancelled at cycle %d: %w", c, cerr))
+					return p.terminal()
+				}
+			}
+			if c >= p.cfg.MaxCycles {
+				p.finish(fmt.Errorf("sim: %w: MaxCycles=%d (%d/%d threads done)",
+					ErrMaxCycles, p.cfg.MaxCycles, p.haltCount, p.threads))
+				return p.terminal()
+			}
+			if c > p.progress && c-p.progress > p.cfg.StallLimit {
+				if p.faultsManifested() {
+					p.finish(fmt.Errorf("sim: %w for %d cycles at cycle %d (fault report: %s):\n%s",
+						ErrFaultStall, p.cfg.StallLimit, c, p.inj.Report(), p.dump()))
+				} else {
+					p.finish(fmt.Errorf("sim: %w for %d cycles at cycle %d:\n%s",
+						ErrDeadlock, p.cfg.StallLimit, c, p.dump()))
+				}
+				return p.terminal()
+			}
+		} else {
+			if p.drainC&cancelCheckMask == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					p.finish(fmt.Errorf("sim: run cancelled during drain at cycle %d: %w", c, cerr))
+					return p.terminal()
+				}
+			}
+			p.drainC++
 		}
 		p.tick(c)
-		if err := p.runErr(c); err != nil {
-			return nil, err
+		if rerr := p.runErr(c); rerr != nil {
+			p.finish(rerr)
+			return p.terminal()
 		}
-		c++
+		p.runC++
 	}
-	p.stats.Cycles = p.lastHalt + 1
-	// Drain in-flight memory so the functional memory reflects every
-	// store (bounded; normally finishes quickly).
-	for extra := uint64(0); extra < 2_000_000 && !p.quiesced(); extra++ {
-		if extra&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sim: run cancelled during drain at cycle %d: %w", c, err)
-			}
-		}
-		p.tick(c)
-		if err := p.runErr(c); err != nil {
-			return nil, err
-		}
-		c++
-	}
-	if !p.quiesced() {
-		if p.faultsManifested() {
-			return nil, fmt.Errorf("sim: %w: post-halt drain stuck (fault report: %s):\n%s",
-				ErrFaultStall, p.inj.Report(), p.dump())
-		}
-		return nil, fmt.Errorf("sim: %w:\n%s", ErrNotQuiesced, p.dump())
-	}
-	p.collect()
-	return &p.stats, nil
+	return nil, false, nil
 }
 
 // runErr surfaces fatal conditions latched by component callbacks during
@@ -576,13 +718,18 @@ func (p *Processor) inject() {
 }
 
 // tick advances the whole machine one cycle under the configured
-// scheduling strategy.
+// scheduling strategy. SchedClusterPar runs only when its preconditions
+// held at construction (no fault script, no trace, >1 cluster); otherwise
+// it falls back to the active-set scheduler, which is always equivalent.
 func (p *Processor) tick(c uint64) {
-	if p.cfg.Sched == SchedFullScan {
+	switch {
+	case p.parMode:
+		p.parTick(c)
+	case p.cfg.Sched == SchedFullScan:
 		p.scanTick(c)
-		return
+	default:
+		p.activeTick(c)
 	}
-	p.activeTick(c)
 }
 
 // scanTick is the reference scheduler: every component is visited every
@@ -744,8 +891,26 @@ func (p *Processor) quiesced() bool {
 	return true
 }
 
-// collect aggregates component statistics.
+// collect aggregates component statistics. Phase counters accumulate in
+// per-cluster shards (one shard in serial modes) and fold here, so the
+// serial and cluster-parallel schedulers share one aggregation path.
 func (p *Processor) collect() {
+	for i := range p.phStats {
+		sh := &p.phStats[i]
+		for lvl := range sh.Traffic {
+			for cls := range sh.Traffic[lvl] {
+				p.stats.Traffic[lvl][cls] += sh.Traffic[lvl][cls]
+			}
+		}
+		p.stats.OperandLatTotal += sh.OperandLatTotal
+		p.stats.OperandCount += sh.OperandCount
+		p.stats.Dispatches += sh.Dispatches
+		p.stats.Dynamic += sh.Dynamic
+		p.stats.Countable += sh.Countable
+		p.stats.SpecFires += sh.SpecFires
+		p.stats.OutQStalls += sh.OutQStalls
+		p.stats.InputRejects += sh.InputRejects
+	}
 	for _, pe := range p.pes {
 		ms := pe.mt.Stats()
 		p.stats.Match.Inserts += ms.Inserts

@@ -1,0 +1,95 @@
+package validate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The failure corpus: every divergence the harness ever caught and
+// shrank, frozen as a checked-in witness. A corpus entry is the shrunk
+// case plus its repro token; the regression suite replays every entry
+// against the real simulator on every run, so a fixed bug that creeps
+// back is caught by the exact minimal case that exposed it the first
+// time — no fuzzing luck required.
+
+// CorpusSchema versions the corpus entry format.
+const CorpusSchema = "wavescalar-validate-corpus/v1"
+
+// CorpusEntry is one exported failure witness.
+type CorpusEntry struct {
+	Schema string `json:"schema"`
+	// Token replays the case (`wsvalidate -repro <token>`); Case is the
+	// same case decoded, kept readable for humans diffing the corpus.
+	Token  string `json:"token"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+	Case   Case   `json:"case"`
+}
+
+// ExportFailure writes a shrunk failure into dir as
+// <kind>-<sha256(token)[:8]>.json — content-addressed, so re-exporting
+// the same witness is idempotent and distinct witnesses never collide.
+// It returns the written path.
+func ExportFailure(dir string, f *Failure) (string, error) {
+	if f.Repro == "" {
+		return "", fmt.Errorf("validate: corpus export needs a repro token")
+	}
+	e := CorpusEntry{Schema: CorpusSchema, Token: f.Repro, Kind: f.Kind, Detail: f.Detail, Case: f.Case}
+	doc, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("validate: corpus marshal: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(f.Repro))
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s.json", f.Kind, hex.EncodeToString(sum[:])[:8]))
+	if err := os.WriteFile(path, append(doc, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadCorpus reads every witness in dir, sorted by filename for
+// deterministic replay order. A missing directory is an empty corpus; a
+// malformed or wrong-schema entry is an error — the corpus is checked
+// in, so damage to it should fail loudly, not skip silently.
+func LoadCorpus(dir string) ([]CorpusEntry, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, de := range ents {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".json") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]CorpusEntry, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var e CorpusEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return nil, fmt.Errorf("validate: corpus entry %s: %w", name, err)
+		}
+		if e.Schema != CorpusSchema {
+			return nil, fmt.Errorf("validate: corpus entry %s: schema %q, want %q", name, e.Schema, CorpusSchema)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

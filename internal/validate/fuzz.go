@@ -19,6 +19,10 @@ type FuzzOptions struct {
 	// Monotone disables the nested-kill-fraction degradation check when
 	// false... inverted: it is on by default; set SkipMonotone.
 	SkipMonotone bool
+	// CorpusDir, when set, exports every shrunk failure as a corpus
+	// witness (see corpus.go) so a red run automatically grows the
+	// checked-in regression corpus.
+	CorpusDir string
 	// Progress, when non-nil, receives one line per checked case.
 	Progress func(i int, c Case, failed bool)
 }
@@ -94,6 +98,11 @@ func (ck *Checker) Fuzz(opt FuzzOptions) (*FuzzReport, error) {
 			final.Repro = SeedToken(c.Seed)
 			if shrunkDiffers(c, shrunk) {
 				final.Repro = CaseToken(shrunk)
+			}
+			if opt.CorpusDir != "" {
+				if _, err := ExportFailure(opt.CorpusDir, final); err != nil {
+					return nil, fmt.Errorf("validate: exporting corpus witness: %w", err)
+				}
 			}
 			rep.Failures = append(rep.Failures, *final)
 		}
